@@ -1,0 +1,62 @@
+//! Criterion benches: one per table/figure (and per ablation), each
+//! timing the regeneration of that artifact at reduced scale. `cargo
+//! bench` therefore re-runs the entire evaluation and `target/criterion`
+//! keeps the history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdd_bench::*;
+
+fn cfg() -> ExpConfig {
+    // Small but non-degenerate: thousands of requests per cell.
+    ExpConfig { scale: 2000, seed: 42 }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_trace_stats", |b| b.iter(|| table1(&cfg())));
+    g.bench_function("table2_policy_summary", |b| b.iter(|| table2(&cfg())));
+    g.finish();
+}
+
+fn bench_simulation_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("fig4_metadata_sweep", |b| b.iter(|| fig4(&cfg())));
+    g.bench_function("fig5_hitratio_write", |b| b.iter(|| fig5(&cfg())));
+    g.bench_function("fig6_traffic_write", |b| b.iter(|| fig6(&cfg())));
+    g.bench_function("fig7_hitratio_read", |b| b.iter(|| fig7(&cfg())));
+    g.bench_function("fig8_traffic_read", |b| b.iter(|| fig8(&cfg())));
+    g.finish();
+}
+
+fn bench_latency_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency");
+    g.sample_size(10);
+    g.bench_function("fig9_replay_latency", |b| b.iter(|| fig9(&cfg())));
+    g.bench_function("fig10_fio_latency", |b| b.iter(|| fig10(&cfg())));
+    g.bench_function("fig11_fio_traffic", |b| b.iter(|| fig11(&cfg())));
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ablation_zoning", |b| b.iter(|| ablation_zoning(&cfg())));
+    g.bench_function("ablation_reclaim", |b| b.iter(|| ablation_reclaim(&cfg())));
+    g.bench_function("ablation_metalog", |b| b.iter(|| ablation_metalog(&cfg())));
+    g.bench_function("ablation_setmap", |b| b.iter(|| ablation_setmap(&cfg())));
+    g.bench_function("ablation_admission", |b| b.iter(|| ablation_admission(&cfg())));
+    g.bench_function("ablation_raid6", |b| b.iter(|| ablation_raid6(&cfg())));
+    g.bench_function("ablation_desmodel", |b| b.iter(|| ablation_desmodel(&cfg())));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_simulation_figures,
+    bench_latency_figures,
+    bench_ablations
+);
+criterion_main!(figures);

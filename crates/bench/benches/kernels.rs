@@ -1,0 +1,102 @@
+//! Microbenchmarks of the hot kernels: the delta codec, XOR/parity math,
+//! the FTL write path, and the cache directory — the building blocks
+//! whose speed the §IV-B2 latency argument rests on ("it takes only tens
+//! of microseconds to decompress the delta and combine it with the
+//! data").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kdd_blockdev::flash::{FlashGeometry, FlashTimings};
+use kdd_blockdev::ftl::Ftl;
+use kdd_cache::setassoc::{CacheGeometry, PageState, SetAssocCache};
+use kdd_delta::codec::{compress, decompress};
+use kdd_delta::content::PageMutator;
+use kdd_delta::xor::{xor_into, xor_pages};
+use kdd_raid::gf256;
+
+fn bench_delta_codec(c: &mut Criterion) {
+    let mut m = PageMutator::new(4096, 0.10, 64, 7);
+    let p0 = m.initial_page();
+    let p1 = m.mutate(&p0);
+    let delta = xor_pages(&p0, &p1);
+    let compressed = compress(&delta);
+
+    let mut g = c.benchmark_group("delta_codec");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("compress_4k_delta", |b| b.iter(|| compress(std::hint::black_box(&delta))));
+    g.bench_function("decompress_4k_delta", |b| {
+        b.iter(|| decompress(std::hint::black_box(&compressed)).unwrap())
+    });
+    g.bench_function("xor_4k", |b| {
+        b.iter_batched(
+            || p0.clone(),
+            |mut buf| xor_into(&mut buf, std::hint::black_box(&p1)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_parity_math(c: &mut Criterion) {
+    let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let mut g = c.benchmark_group("parity");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("gf256_mul_slice_4k", |b| {
+        b.iter_batched(
+            || vec![0u8; 4096],
+            |mut q| gf256::mul_slice_into(&mut q, std::hint::black_box(&data), 0x1d),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("ftl");
+    grp.bench_function("overwrite_churn_with_gc", |b| {
+        b.iter_batched(
+            || {
+                let g = FlashGeometry {
+                    channels: 4,
+                    dies_per_channel: 1,
+                    blocks_per_die: 64,
+                    pages_per_block: 64,
+                    page_size: 4096,
+                };
+                let mut f = Ftl::new(g, FlashTimings::mlc_default(), 0.15);
+                for lpn in 0..f.logical_pages() {
+                    f.write(lpn).unwrap();
+                }
+                f
+            },
+            |mut f| {
+                for i in 0..4096u64 {
+                    f.write(i % 512).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    grp.finish();
+}
+
+fn bench_cache_directory(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("cache_directory");
+    grp.bench_function("lookup_touch_hot", |b| {
+        let g = CacheGeometry { total_pages: 65_536, ways: 64, page_size: 4096 };
+        let mut cache = SetAssocCache::new(g, 64);
+        for lba in 0..60_000u64 {
+            cache.insert(lba, PageState::Clean, |s| s == PageState::Clean);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 60_000;
+            if let Some(slot) = cache.lookup(std::hint::black_box(i)) {
+                cache.touch(slot);
+            }
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(kernels, bench_delta_codec, bench_parity_math, bench_ftl, bench_cache_directory);
+criterion_main!(kernels);

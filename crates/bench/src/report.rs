@@ -1,0 +1,98 @@
+//! Uniform experiment rows and table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One data point of one figure/table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Experiment id ("table1", "fig5", "ablation_zoning", ...).
+    pub experiment: String,
+    /// Workload name ("Fin1", "fio", ...).
+    pub workload: String,
+    /// Meaning of `x` ("cache_kpages", "read_rate", "partition_pct", ...).
+    pub x_label: String,
+    /// Sweep coordinate.
+    pub x: f64,
+    /// Policy / variant name.
+    pub policy: String,
+    /// Named metrics for this point.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(
+        experiment: &str,
+        workload: &str,
+        x_label: &str,
+        x: f64,
+        policy: &str,
+        metrics: Vec<(&str, f64)>,
+    ) -> Row {
+        Row {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            x_label: x_label.into(),
+            x,
+            policy: policy.into(),
+            metrics: metrics.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    /// Fetch a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+}
+
+/// Render rows as aligned text tables, grouped by (experiment, workload).
+pub fn print_rows(rows: &[Row]) {
+    let mut i = 0;
+    while i < rows.len() {
+        let exp = &rows[i].experiment;
+        let wl = &rows[i].workload;
+        let group_end = rows[i..]
+            .iter()
+            .position(|r| &r.experiment != exp || &r.workload != wl)
+            .map(|p| i + p)
+            .unwrap_or(rows.len());
+        let group = &rows[i..group_end];
+        println!("\n== {} / {} ==", exp, wl);
+        // Header from the first row's metrics.
+        print!("{:<10} {:>12}", "policy", group[0].x_label);
+        for (k, _) in &group[0].metrics {
+            print!(" {:>16}", k);
+        }
+        println!();
+        for r in group {
+            print!("{:<10} {:>12.4}", r.policy, r.x);
+            for (_, v) in &r.metrics {
+                print!(" {:>16.4}", v);
+            }
+            println!();
+        }
+        i = group_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_lookup() {
+        let r = Row::new("fig5", "Fin1", "cache", 1.0, "WT", vec![("hit", 0.5), ("mib", 12.0)]);
+        assert_eq!(r.metric("hit"), Some(0.5));
+        assert_eq!(r.metric("nope"), None);
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        let rows = vec![
+            Row::new("fig5", "Fin1", "cache", 1.0, "WT", vec![("hit", 0.5)]),
+            Row::new("fig5", "Fin1", "cache", 2.0, "WT", vec![("hit", 0.6)]),
+            Row::new("fig5", "Hm0", "cache", 1.0, "KDD-25%", vec![("hit", 0.4)]),
+        ];
+        print_rows(&rows);
+    }
+}

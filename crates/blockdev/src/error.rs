@@ -1,0 +1,66 @@
+//! Device-level error type.
+
+use std::fmt;
+
+/// Errors surfaced by the device substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Access past the end of the device.
+    OutOfRange {
+        /// Offending logical page number.
+        lpn: u64,
+        /// Device capacity in pages.
+        capacity: u64,
+    },
+    /// The device has been failed by fault injection (or wore out).
+    Failed,
+    /// A flash block exceeded its rated program/erase cycles.
+    WornOut {
+        /// Physical block that wore out.
+        block: u64,
+    },
+    /// NVRAM region capacity exceeded.
+    NvramFull {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// Read of a logical page that was never written (strict mode).
+    Unmapped {
+        /// Offending logical page number.
+        lpn: u64,
+    },
+}
+
+impl fmt::Display for DevError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevError::OutOfRange { lpn, capacity } => {
+                write!(f, "page {lpn} out of range (capacity {capacity} pages)")
+            }
+            DevError::Failed => write!(f, "device failed"),
+            DevError::WornOut { block } => write!(f, "flash block {block} worn out"),
+            DevError::NvramFull { requested, available } => {
+                write!(f, "NVRAM full: requested {requested}B, available {available}B")
+            }
+            DevError::Unmapped { lpn } => write!(f, "page {lpn} unmapped"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DevError::OutOfRange { lpn: 9, capacity: 4 }.to_string().contains("out of range"));
+        assert!(DevError::Failed.to_string().contains("failed"));
+        assert!(DevError::WornOut { block: 3 }.to_string().contains("worn out"));
+        assert!(DevError::NvramFull { requested: 10, available: 4 }.to_string().contains("NVRAM"));
+        assert!(DevError::Unmapped { lpn: 1 }.to_string().contains("unmapped"));
+    }
+}

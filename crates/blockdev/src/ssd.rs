@@ -1,0 +1,248 @@
+//! The SSD cache device: FTL + content store + timing.
+//!
+//! [`SsdDevice`] is what the cache layer writes to. It combines:
+//!
+//! * the [`Ftl`] for wear/write-amplification accounting and channel
+//!   placement,
+//! * a sparse [`MemStore`] holding actual page contents (keyed by logical
+//!   page, since the FTL hides physical placement), and
+//! * [`FlashTimings`] to produce per-operation service times.
+//!
+//! Sub-page writes (KDD's compacted delta pages are still whole-page
+//! programs; the *metadata* log writes whole pages too) are charged a full
+//! page program, as on real flash.
+
+use crate::error::DevError;
+use crate::flash::{FlashGeometry, FlashTimings};
+use crate::ftl::{EnduranceReport, Ftl};
+use crate::store::{MemStore, PageStore};
+use kdd_util::units::SimTime;
+
+/// An SSD with contents, wear accounting and service times.
+///
+/// # Examples
+///
+/// ```
+/// use kdd_blockdev::SsdDevice;
+///
+/// let mut ssd = SsdDevice::with_logical_capacity(1 << 20, 4096, 0.07);
+/// let page = vec![0xAB; 4096];
+/// let t = ssd.write_page(3, &page).unwrap();
+/// assert!(t.as_micros() >= 900, "MLC program time");
+///
+/// let mut buf = vec![0u8; 4096];
+/// ssd.read_page(3, &mut buf).unwrap();
+/// assert_eq!(buf, page);
+/// assert_eq!(ssd.endurance().host_written_bytes, 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsdDevice {
+    ftl: Ftl,
+    store: MemStore,
+    failed: bool,
+}
+
+impl SsdDevice {
+    /// Create an SSD exposing at least `logical_bytes` of logical space.
+    ///
+    /// Physical capacity is sized up so that after over-provisioning
+    /// (`op_fraction`) the logical space fits.
+    pub fn with_logical_capacity(logical_bytes: u64, page_size: u32, op_fraction: f64) -> Self {
+        let physical = (logical_bytes as f64 / (1.0 - op_fraction)).ceil() as u64;
+        let geometry = FlashGeometry::fit_capacity(physical, page_size);
+        let ftl = Ftl::new(geometry, FlashTimings::mlc_default(), op_fraction);
+        let store = MemStore::new(ftl.logical_pages(), page_size);
+        SsdDevice { ftl, store, failed: false }
+    }
+
+    /// Create from explicit geometry/timings.
+    pub fn new(geometry: FlashGeometry, timings: FlashTimings, op_fraction: f64) -> Self {
+        let ftl = Ftl::new(geometry, timings, op_fraction);
+        let store = MemStore::new(ftl.logical_pages(), geometry.page_size);
+        SsdDevice { ftl, store, failed: false }
+    }
+
+    /// Logical pages available to the cache layer.
+    pub fn capacity_pages(&self) -> u64 {
+        self.ftl.logical_pages()
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.store.page_size()
+    }
+
+    /// Number of independent flash channels (read parallelism).
+    pub fn channels(&self) -> u32 {
+        self.ftl.geometry().channels
+    }
+
+    /// Read a logical page; returns its service time.
+    pub fn read_page(&self, lpn: u64, buf: &mut [u8]) -> Result<SimTime, DevError> {
+        if self.failed {
+            return Err(DevError::Failed);
+        }
+        let cost = self.ftl.read(lpn)?;
+        self.store.read_page(lpn, buf)?;
+        Ok(cost.service_time(self.ftl.timings()))
+    }
+
+    /// Read several logical pages concurrently; the service time is the
+    /// maximum over the channels involved (the SSD-internal parallelism
+    /// KDD leans on to fetch data and delta together, §IV-B2).
+    pub fn read_pages_parallel(&self, lpns: &[u64], bufs: &mut [Vec<u8>]) -> Result<SimTime, DevError> {
+        assert_eq!(lpns.len(), bufs.len());
+        if self.failed {
+            return Err(DevError::Failed);
+        }
+        let t = self.ftl.timings();
+        let mut per_channel = vec![SimTime::ZERO; self.channels() as usize];
+        for (&lpn, buf) in lpns.iter().zip(bufs.iter_mut()) {
+            let cost = self.ftl.read(lpn)?;
+            self.store.read_page(lpn, buf)?;
+            per_channel[cost.channel as usize] += cost.service_time(t);
+        }
+        Ok(per_channel.into_iter().max().unwrap_or(SimTime::ZERO))
+    }
+
+    /// Write a logical page; returns its service time (including any GC).
+    pub fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<SimTime, DevError> {
+        if self.failed {
+            return Err(DevError::Failed);
+        }
+        let cost = self.ftl.write(lpn)?;
+        self.store.write_page(lpn, data)?;
+        Ok(cost.service_time(self.ftl.timings()))
+    }
+
+    /// Discard a logical page (cache eviction) — free for the flash.
+    pub fn trim_page(&mut self, lpn: u64) -> Result<(), DevError> {
+        if self.failed {
+            return Err(DevError::Failed);
+        }
+        self.ftl.trim(lpn)?;
+        self.store.trim_page(lpn)
+    }
+
+    /// Whether a logical page currently holds data.
+    pub fn is_mapped(&self, lpn: u64) -> bool {
+        !self.failed && self.ftl.is_mapped(lpn)
+    }
+
+    /// Inject an SSD failure: contents lost, all I/O errors until replaced.
+    pub fn fail(&mut self) {
+        self.failed = true;
+        self.store.fail();
+    }
+
+    /// Whether the device is failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Swap in a fresh replacement device of identical shape.
+    pub fn replace(&mut self) {
+        let geometry = *self.ftl.geometry();
+        let timings = *self.ftl.timings();
+        // Recompute the original OP fraction from the exposed capacity.
+        let op = 1.0 - self.ftl.logical_pages() as f64 / geometry.total_pages() as f64;
+        self.ftl = Ftl::new(geometry, timings, op.clamp(0.02, 0.5));
+        self.store.replace();
+        self.failed = false;
+    }
+
+    /// Endurance snapshot (wear, WAF, projected lifetime).
+    pub fn endurance(&self) -> EnduranceReport {
+        self.ftl.endurance()
+    }
+
+    /// Projected total host bytes writable before wear-out at current WAF.
+    pub fn projected_lifetime_bytes(&self) -> f64 {
+        self.ftl.endurance().projected_lifetime_bytes(self.ftl.geometry())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ssd() -> SsdDevice {
+        // ~8 MiB logical.
+        SsdDevice::with_logical_capacity(8 << 20, 4096, 0.1)
+    }
+
+    #[test]
+    fn logical_capacity_at_least_requested() {
+        let d = small_ssd();
+        assert!(d.capacity_pages() * 4096 >= 8 << 20);
+    }
+
+    #[test]
+    fn rw_roundtrip_with_times() {
+        let mut d = small_ssd();
+        let data = vec![0x42u8; 4096];
+        let tw = d.write_page(10, &data).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let tr = d.read_page(10, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert!(tw > tr, "program {tw} should cost more than read {tr}");
+    }
+
+    #[test]
+    fn parallel_read_cheaper_than_serial() {
+        let mut d = small_ssd();
+        let data = vec![1u8; 4096];
+        // Write enough pages to touch several channels.
+        for lpn in 0..64 {
+            d.write_page(lpn, &data).unwrap();
+        }
+        let lpns: Vec<u64> = (0..8).collect();
+        let mut bufs = vec![vec![0u8; 4096]; 8];
+        let t_par = d.read_pages_parallel(&lpns, &mut bufs).unwrap();
+        let mut t_ser = SimTime::ZERO;
+        for &lpn in &lpns {
+            let mut b = vec![0u8; 4096];
+            t_ser += d.read_page(lpn, &mut b).unwrap();
+        }
+        assert!(t_par < t_ser, "parallel {t_par} vs serial {t_ser}");
+        for b in &bufs {
+            assert_eq!(b, &data);
+        }
+    }
+
+    #[test]
+    fn failure_and_replacement() {
+        let mut d = small_ssd();
+        d.write_page(0, &vec![9u8; 4096]).unwrap();
+        d.fail();
+        assert!(d.is_failed());
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(d.read_page(0, &mut buf), Err(DevError::Failed));
+        d.replace();
+        assert!(!d.is_failed());
+        assert!(!d.is_mapped(0), "replacement must be empty");
+        assert_eq!(d.endurance().host_written_bytes, 0, "fresh wear counters");
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut d = small_ssd();
+        d.write_page(3, &vec![1u8; 4096]).unwrap();
+        assert!(d.is_mapped(3));
+        d.trim_page(3).unwrap();
+        assert!(!d.is_mapped(3));
+    }
+
+    #[test]
+    fn endurance_tracks_traffic() {
+        let mut d = small_ssd();
+        let data = vec![7u8; 4096];
+        for i in 0..100 {
+            d.write_page(i % 10, &data).unwrap();
+        }
+        let rep = d.endurance();
+        assert_eq!(rep.host_written_bytes, 100 * 4096);
+        assert!(rep.waf() >= 1.0);
+        assert!(d.projected_lifetime_bytes() > 0.0);
+    }
+}

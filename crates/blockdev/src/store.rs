@@ -1,0 +1,174 @@
+//! Sparse in-memory page stores.
+//!
+//! A 5-disk RAID over 1 TB drives cannot be materialised as flat buffers;
+//! [`MemStore`] keeps only pages that were ever written in a hash map and
+//! reads unwritten pages as zeros — exactly what a fresh disk returns.
+
+use crate::error::DevError;
+use kdd_util::hash::FastMap;
+
+/// Page-granular storage of actual contents.
+pub trait PageStore {
+    /// Page size in bytes.
+    fn page_size(&self) -> u32;
+
+    /// Capacity in pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Read page `lpn` into `buf` (`buf.len() == page_size`).
+    fn read_page(&self, lpn: u64, buf: &mut [u8]) -> Result<(), DevError>;
+
+    /// Write `data` (`data.len() == page_size`) to page `lpn`.
+    fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<(), DevError>;
+
+    /// Discard page `lpn` (it reads back as zeros).
+    fn trim_page(&mut self, lpn: u64) -> Result<(), DevError>;
+}
+
+/// Sparse in-memory page store; unwritten pages read as zeros.
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    page_size: u32,
+    capacity_pages: u64,
+    pages: FastMap<u64, Box<[u8]>>,
+    failed: bool,
+}
+
+impl MemStore {
+    /// Create a store of `capacity_pages` pages of `page_size` bytes.
+    pub fn new(capacity_pages: u64, page_size: u32) -> Self {
+        assert!(page_size > 0 && capacity_pages > 0);
+        MemStore { page_size, capacity_pages, pages: FastMap::default(), failed: false }
+    }
+
+    /// Inject a permanent device failure: all subsequent I/O errors.
+    pub fn fail(&mut self) {
+        self.failed = true;
+        self.pages.clear(); // a failed disk's contents are gone
+    }
+
+    /// Whether the device has been failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Replace a failed device with a fresh (zeroed) one of the same shape.
+    pub fn replace(&mut self) {
+        self.failed = false;
+        self.pages.clear();
+    }
+
+    /// Number of pages that have ever been written (resident set).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, lpn: u64) -> Result<(), DevError> {
+        if self.failed {
+            return Err(DevError::Failed);
+        }
+        if lpn >= self.capacity_pages {
+            return Err(DevError::OutOfRange { lpn, capacity: self.capacity_pages });
+        }
+        Ok(())
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    fn read_page(&self, lpn: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        self.check(lpn)?;
+        assert_eq!(buf.len(), self.page_size as usize, "buffer/page size mismatch");
+        match self.pages.get(&lpn) {
+            Some(data) => buf.copy_from_slice(data),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<(), DevError> {
+        self.check(lpn)?;
+        assert_eq!(data.len(), self.page_size as usize, "buffer/page size mismatch");
+        self.pages.insert(lpn, data.into());
+        Ok(())
+    }
+
+    fn trim_page(&mut self, lpn: u64) -> Result<(), DevError> {
+        self.check(lpn)?;
+        self.pages.remove(&lpn);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pages_read_zero() {
+        let s = MemStore::new(16, 512);
+        let mut buf = vec![0xffu8; 512];
+        s.read_page(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = MemStore::new(16, 512);
+        let data = vec![0xabu8; 512];
+        s.write_page(7, &data).unwrap();
+        let mut buf = vec![0u8; 512];
+        s.read_page(7, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn trim_restores_zero() {
+        let mut s = MemStore::new(4, 64);
+        s.write_page(0, &vec![1u8; 64]).unwrap();
+        s.trim_page(0).unwrap();
+        let mut buf = vec![9u8; 64];
+        s.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = MemStore::new(4, 64);
+        let mut buf = vec![0u8; 64];
+        assert!(matches!(s.read_page(4, &mut buf), Err(DevError::OutOfRange { .. })));
+        assert!(matches!(s.write_page(100, &buf), Err(DevError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn failure_injection() {
+        let mut s = MemStore::new(4, 64);
+        s.write_page(1, &vec![5u8; 64]).unwrap();
+        s.fail();
+        assert!(s.is_failed());
+        let mut buf = vec![0u8; 64];
+        assert_eq!(s.read_page(1, &mut buf), Err(DevError::Failed));
+        assert_eq!(s.write_page(1, &buf), Err(DevError::Failed));
+        s.replace();
+        assert!(!s.is_failed());
+        s.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "replacement disk must be empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let s = MemStore::new(4, 64);
+        let mut buf = vec![0u8; 32];
+        let _ = s.read_page(0, &mut buf);
+    }
+}

@@ -1,0 +1,303 @@
+//! The cache-policy trait and its baseline implementations.
+//!
+//! Each policy is an accounting machine over the shared
+//! [`SetAssocCache`](crate::setassoc::SetAssocCache) directory: it tracks
+//! exactly which pages are cached in which state, and reports the device
+//! operations each request implies. The RAID side is costed through
+//! [`RaidModel`], which knows the array geometry (so a "small write" costs
+//! 2 reads + 2 writes on RAID-5, 3 + 3 on RAID-6).
+
+mod leavo;
+mod nossd;
+mod wa;
+mod wb;
+mod wt;
+
+pub use leavo::LeavO;
+pub use nossd::Nossd;
+pub use wa::WriteAround;
+pub use wb::WriteBack;
+pub use wt::WriteThrough;
+
+use crate::effects::{AccessOutcome, Effects};
+use crate::stats::CacheStats;
+use crate::setassoc::SetGrouping;
+use kdd_raid::layout::{Layout, RaidLevel};
+use kdd_trace::record::{Op, Trace};
+use kdd_util::hash::{FastMap, FastSet};
+
+/// A caching policy in front of parity RAID.
+pub trait CachePolicy {
+    /// Policy name as it appears in the figures (e.g. "WT", "KDD-25%").
+    fn name(&self) -> String;
+
+    /// Process one page-granular request.
+    fn access(&mut self, op: Op, lba: u64) -> AccessOutcome;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &CacheStats;
+
+    /// Flush buffered state (metadata buffers, pending parity updates) —
+    /// end of run or an explicit idle period. Returns the work performed.
+    fn flush(&mut self) -> Effects;
+
+    /// The system has been idle for a while: §III-D wakes the cleaning
+    /// thread on idleness as well as on thresholds. Policies with delayed
+    /// parity do a bounded batch of repairs; others no-op. Returns the
+    /// background work performed.
+    fn idle_tick(&mut self) -> Effects {
+        Effects::default()
+    }
+
+    /// Drive a whole trace through the policy (requests expanded to
+    /// page granularity), flushing at the end.
+    fn run_trace(&mut self, trace: &Trace) {
+        for r in &trace.records {
+            for lba in r.pages() {
+                self.access(r.op, lba);
+            }
+        }
+        self.flush();
+    }
+}
+
+/// RAID-side cost model shared by the policies.
+#[derive(Debug, Clone, Copy)]
+pub struct RaidModel {
+    /// Array geometry.
+    pub layout: Layout,
+}
+
+impl RaidModel {
+    /// A 5-disk RAID-5 with 64 KiB chunks over 4 KiB pages — the paper's
+    /// prototype configuration (§IV-B1) — sized to cover `data_pages`.
+    pub fn paper_default(data_pages: u64) -> Self {
+        let chunk_pages = 16; // 64 KiB / 4 KiB
+        let data_disks = 4u64;
+        let disk_pages = (data_pages.div_ceil(data_disks).div_ceil(chunk_pages) + 1) * chunk_pages;
+        RaidModel { layout: Layout::new(RaidLevel::Raid5, 5, chunk_pages, disk_pages) }
+    }
+
+    /// Parity units per stripe (1 for RAID-5, 2 for RAID-6).
+    pub fn parity_count(&self) -> u32 {
+        self.layout.level.parity_count() as u32
+    }
+
+    /// Effects of reading one page from the array.
+    pub fn read_effects(&self) -> Effects {
+        Effects { raid_reads: 1, raid_rounds: 1, ..Default::default() }
+    }
+
+    /// Effects of a conventional small write (data + full parity update),
+    /// choosing read-modify-write or reconstruct-write by read count, as
+    /// the array itself does.
+    pub fn small_write_effects(&self) -> Effects {
+        if self.layout.level == RaidLevel::Raid0 {
+            return Effects { raid_writes: 1, raid_rounds: 1, ..Default::default() };
+        }
+        let pc = self.parity_count();
+        let rmw_reads = 1 + pc; // old data + old parity unit(s)
+        let recon_reads = self.layout.data_disks() as u32 - 1;
+        let reads = rmw_reads.min(recon_reads);
+        Effects {
+            raid_reads: reads,
+            raid_writes: 1 + pc,
+            raid_rounds: 2, // read round then write round
+            ..Default::default()
+        }
+    }
+
+    /// Effects of `write_no_parity_update`: one member write.
+    pub fn data_write_effects(&self) -> Effects {
+        Effects { raid_writes: 1, raid_rounds: 1, ..Default::default() }
+    }
+
+    /// Effects of repairing one stale row: reconstruct-write (all data in
+    /// cache → just write parity) or read-modify-write (read stale parity,
+    /// fold deltas, write).
+    pub fn parity_update_effects(&self, reconstruct: bool) -> Effects {
+        let pc = self.parity_count();
+        if reconstruct {
+            Effects { raid_writes: pc, raid_rounds: 1, ..Default::default() }
+        } else {
+            Effects { raid_reads: pc, raid_writes: pc, raid_rounds: 2, ..Default::default() }
+        }
+    }
+
+    /// Parity row of a page.
+    pub fn row_of(&self, lba: u64) -> u64 {
+        self.layout.row_of(lba % self.layout.capacity_pages())
+    }
+
+    /// Parity stripe of a page (chunk-granular width in pages).
+    pub fn stripe_pages(&self) -> u64 {
+        self.layout.chunk_pages * self.layout.data_disks() as u64
+    }
+
+    /// The cache-set grouping §III-B prescribes: co-locate the pages the
+    /// cleaner reclaims together (one parity row per group).
+    pub fn set_grouping(&self) -> SetGrouping {
+        SetGrouping::ParityRow {
+            chunk_pages: self.layout.chunk_pages,
+            data_disks: self.layout.data_disks() as u64,
+        }
+    }
+
+    /// The logical pages a row protects.
+    pub fn row_lpns(&self, row: u64) -> Vec<u64> {
+        self.layout.row_lpns(row)
+    }
+}
+
+/// Tracks which rows have pending (delayed) parity and which pages of
+/// each row are involved — shared by LeavO and KDD. Rows are kept in
+/// least-recently-*written* order so the cleaner works coldest-first
+/// (§III-D's premise that "the victim pages are commonly cold"): every
+/// write to a row refreshes its position.
+#[derive(Debug, Clone, Default)]
+pub struct PendingRows {
+    rows: FastMap<u64, FastSet<u64>>,
+    /// Queue of (row, generation); stale generations are skipped lazily.
+    order: std::collections::VecDeque<(u64, u64)>,
+    /// Current generation per row (bumped on every write).
+    touch: FastMap<u64, u64>,
+    gen: u64,
+    pages: u64,
+}
+
+impl PendingRows {
+    /// Record that `lba` (in `row`) has a pending parity update; refreshes
+    /// the row's recency either way.
+    pub fn add(&mut self, row: u64, lba: u64) {
+        let entry = self.rows.entry(row).or_default();
+        if entry.insert(lba) {
+            self.pages += 1;
+        }
+        self.gen += 1;
+        self.touch.insert(row, self.gen);
+        self.order.push_back((row, self.gen));
+    }
+
+    /// The least-recently-written pending row, if any.
+    pub fn oldest_row(&mut self) -> Option<u64> {
+        while let Some(&(row, gen)) = self.order.front() {
+            if self.rows.contains_key(&row) && self.touch.get(&row) == Some(&gen) {
+                return Some(row);
+            }
+            self.order.pop_front(); // superseded or already taken
+        }
+        None
+    }
+
+    /// Whether any page of `row` is pending.
+    pub fn contains_row(&self, row: u64) -> bool {
+        self.rows.contains_key(&row)
+    }
+
+    /// Whether `lba` specifically is pending.
+    pub fn contains(&self, row: u64, lba: u64) -> bool {
+        self.rows.get(&row).is_some_and(|s| s.contains(&lba))
+    }
+
+    /// Remove one page from a row's pending set (e.g. it degraded to a
+    /// write-through update); drops the row when it empties.
+    pub fn remove(&mut self, row: u64, lba: u64) -> bool {
+        let Some(set) = self.rows.get_mut(&row) else { return false };
+        let removed = set.remove(&lba);
+        if removed {
+            self.pages -= 1;
+            if set.is_empty() {
+                self.rows.remove(&row);
+            }
+        }
+        removed
+    }
+
+    /// Remove a whole row, returning its pending pages.
+    pub fn take_row(&mut self, row: u64) -> Vec<u64> {
+        match self.rows.remove(&row) {
+            Some(set) => {
+                self.touch.remove(&row);
+                self.pages -= set.len() as u64;
+                set.into_iter().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of distinct pending pages.
+    pub fn pending_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Number of pending rows.
+    pub fn pending_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Snapshot of pending row ids.
+    pub fn row_ids(&self) -> Vec<u64> {
+        self.rows.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_5disk_raid5() {
+        let m = RaidModel::paper_default(1_000_000);
+        assert_eq!(m.layout.disks, 5);
+        assert_eq!(m.layout.level, RaidLevel::Raid5);
+        assert!(m.layout.capacity_pages() >= 1_000_000);
+        assert_eq!(m.stripe_pages(), 64);
+    }
+
+    #[test]
+    fn small_write_is_2r2w_on_raid5() {
+        let m = RaidModel::paper_default(10_000);
+        let e = m.small_write_effects();
+        assert_eq!(e.raid_reads, 2);
+        assert_eq!(e.raid_writes, 2);
+        assert_eq!(e.raid_rounds, 2);
+    }
+
+    #[test]
+    fn small_write_reconstruct_wins_on_3_disks() {
+        let m = RaidModel { layout: Layout::new(RaidLevel::Raid5, 3, 16, 160) };
+        let e = m.small_write_effects();
+        assert_eq!(e.raid_reads, 1, "3-disk RAID5 should reconstruct");
+        assert_eq!(e.raid_writes, 2);
+    }
+
+    #[test]
+    fn parity_update_costs() {
+        let m = RaidModel::paper_default(10_000);
+        let recon = m.parity_update_effects(true);
+        assert_eq!(recon.raid_reads, 0);
+        assert_eq!(recon.raid_writes, 1);
+        let rmw = m.parity_update_effects(false);
+        assert_eq!(rmw.raid_reads, 1);
+        assert_eq!(rmw.raid_writes, 1);
+    }
+
+    #[test]
+    fn pending_rows_bookkeeping() {
+        let mut p = PendingRows::default();
+        p.add(3, 100);
+        p.add(3, 101);
+        p.add(3, 100); // duplicate
+        p.add(9, 7);
+        assert_eq!(p.pending_pages(), 3);
+        assert_eq!(p.pending_rows(), 2);
+        assert!(p.contains_row(3));
+        assert!(p.contains(3, 101));
+        assert!(!p.contains(3, 999));
+        let mut got = p.take_row(3);
+        got.sort_unstable();
+        assert_eq!(got, vec![100, 101]);
+        assert_eq!(p.pending_pages(), 1);
+        assert!(p.take_row(3).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Write-back caching (WB).
+//!
+//! Included for completeness: the paper explicitly does **not** evaluate
+//! write-back "because it cannot prevent data loss under SSD failures"
+//! (§IV-A1) — dirty pages exist only in flash until eviction. It is the
+//! latency upper bound a volatile-tolerant deployment could reach, so the
+//! ablation benches use it as a reference point.
+
+use crate::effects::{AccessOutcome, Effects};
+use crate::policies::{CachePolicy, RaidModel};
+use crate::setassoc::{CacheGeometry, InsertOutcome, PageState, SetAssocCache};
+use crate::stats::CacheStats;
+use kdd_trace::record::Op;
+
+/// Write-back SSD cache (dirty pages flushed on eviction).
+#[derive(Debug, Clone)]
+pub struct WriteBack {
+    cache: SetAssocCache,
+    raid: RaidModel,
+    stats: CacheStats,
+}
+
+impl WriteBack {
+    /// Build over `geometry` with stripe-aligned set grouping.
+    pub fn new(geometry: CacheGeometry, raid: RaidModel) -> Self {
+        let grouping = raid.set_grouping();
+        WriteBack { cache: SetAssocCache::new_grouped(geometry, grouping), raid, stats: CacheStats::default() }
+    }
+
+    /// Insert `lba`, writing back a dirty victim if one is evicted.
+    fn insert(&mut self, lba: u64, state: PageState, fx: &mut Effects) {
+        match self.cache.insert(lba, state, |s| matches!(s, PageState::Clean | PageState::Dirty)) {
+            InsertOutcome::Inserted { .. } => {}
+            InsertOutcome::Evicted { victim_state, .. } => {
+                self.stats.evictions += 1;
+                if victim_state == PageState::Dirty {
+                    // Flushing the victim is on the critical path: the slot
+                    // cannot be reused before its data is safe.
+                    *fx += self.raid.small_write_effects();
+                }
+            }
+            InsertOutcome::NoRoom => unreachable!("WB pages are always evictable"),
+        }
+        fx.ssd_data_writes += 1;
+    }
+}
+
+impl CachePolicy for WriteBack {
+    fn name(&self) -> String {
+        "WB".to_string()
+    }
+
+    fn access(&mut self, op: Op, lba: u64) -> AccessOutcome {
+        let mut fx = Effects::default();
+        let hit = match (op, self.cache.lookup(lba)) {
+            (Op::Read, Some(slot)) => {
+                self.cache.touch(slot);
+                fx += Effects::ssd_read();
+                true
+            }
+            (Op::Read, None) => {
+                fx += self.raid.read_effects();
+                self.insert(lba, PageState::Clean, &mut fx);
+                false
+            }
+            (Op::Write, Some(slot)) => {
+                self.cache.touch(slot);
+                self.cache.set_state(slot, PageState::Dirty);
+                fx.ssd_data_writes += 1;
+                true // no RAID I/O at all — the whole point of write-back
+            }
+            (Op::Write, None) => {
+                self.insert(lba, PageState::Dirty, &mut fx);
+                false
+            }
+        };
+        let outcome = AccessOutcome::new(hit, fx);
+        self.stats.record(op == Op::Read, &outcome);
+        outcome
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn flush(&mut self) -> Effects {
+        // Write back every dirty page (shutdown / barrier).
+        let dirty: Vec<u32> = self
+            .cache
+            .iter_mapped()
+            .filter(|&(_, _, s)| s == PageState::Dirty)
+            .map(|(slot, _, _)| slot)
+            .collect();
+        let mut fx = Effects::default();
+        for slot in dirty {
+            fx += self.raid.small_write_effects();
+            self.cache.set_state(slot, PageState::Clean);
+            self.stats.raid_reads += self.raid.small_write_effects().raid_reads as u64;
+            self.stats.raid_writes += self.raid.small_write_effects().raid_writes as u64;
+        }
+        fx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb(pages: u64) -> WriteBack {
+        WriteBack::new(
+            CacheGeometry { total_pages: pages, ways: 8.min(pages as u32), page_size: 4096 },
+            RaidModel::paper_default(100_000),
+        )
+    }
+
+    #[test]
+    fn write_hit_touches_no_raid() {
+        let mut p = wb(64);
+        p.access(Op::Write, 1);
+        let w = p.access(Op::Write, 1);
+        assert!(w.hit);
+        assert_eq!(w.foreground.raid_writes, 0);
+        assert_eq!(w.foreground.ssd_data_writes, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut p = wb(8); // 1 set × 8 ways
+        for lba in 0..8 {
+            p.access(Op::Write, lba);
+        }
+        // The 9th write must evict a dirty page → RAID small write.
+        let w = p.access(Op::Write, 100);
+        assert!(w.foreground.raid_writes >= 2, "victim write-back missing");
+    }
+
+    #[test]
+    fn flush_cleans_all_dirty() {
+        let mut p = wb(64);
+        // Spread across stripe groups so no set overflows.
+        for i in 0..10 {
+            p.access(Op::Write, i * 64);
+        }
+        let fx = p.flush();
+        assert_eq!(fx.raid_writes, 10 * 2);
+        // Second flush has nothing to do.
+        assert_eq!(p.flush(), Effects::default());
+    }
+}

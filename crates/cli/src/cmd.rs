@@ -1,0 +1,340 @@
+//! `kddtool` subcommand implementations.
+
+use kdd_cache::policies::RaidModel;
+#[allow(unused_imports)]
+use kdd_cache::policies::CachePolicy;
+use kdd_cache::setassoc::CacheGeometry;
+use kdd_sim::closedloop::run_closed_loop;
+use kdd_sim::factory::{build_policy, PolicyKind};
+use kdd_sim::openloop::replay_open_loop;
+use kdd_sim::service::ServiceModel;
+use kdd_trace::fio::{FioConfig, FioWorkload};
+use kdd_trace::record::Trace;
+use kdd_trace::stats::TraceStats;
+use kdd_trace::synth::PaperTrace;
+use kdd_trace::{msr, spc, writer};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Parsed flags and positional arguments.
+#[derive(Debug, Default)]
+pub struct Opts {
+    pub workload: Option<String>,
+    pub input: Option<String>,
+    pub out: Option<String>,
+    pub format: Option<String>,
+    pub policy: Option<String>,
+    pub scale: u64,
+    pub seed: u64,
+    pub cache_frac: f64,
+    pub read_rate: f64,
+    pub positional: Vec<String>,
+}
+
+impl Opts {
+    /// Parse `--flag value` pairs plus positionals.
+    pub fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts { scale: 100, seed: 42, cache_frac: 0.15, read_rate: 0.25, ..Default::default() };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().cloned().ok_or_else(|| format!("--{name} needs a value"))
+            };
+            match a.as_str() {
+                "--workload" => o.workload = Some(take("workload")?),
+                "--in" => o.input = Some(take("in")?),
+                "--out" => o.out = Some(take("out")?),
+                "--format" => o.format = Some(take("format")?),
+                "--policy" => o.policy = Some(take("policy")?),
+                "--scale" => o.scale = take("scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?,
+                "--seed" => o.seed = take("seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                "--cache-frac" => {
+                    o.cache_frac = take("cache-frac")?.parse().map_err(|e| format!("bad --cache-frac: {e}"))?
+                }
+                "--read-rate" => {
+                    o.read_rate = take("read-rate")?.parse().map_err(|e| format!("bad --read-rate: {e}"))?
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+                positional => o.positional.push(positional.to_string()),
+            }
+        }
+        Ok(o)
+    }
+
+    fn paper_trace(&self) -> Result<PaperTrace, String> {
+        match self.workload.as_deref() {
+            Some("fin1") | Some("Fin1") => Ok(PaperTrace::Fin1),
+            Some("fin2") | Some("Fin2") => Ok(PaperTrace::Fin2),
+            Some("hm0") | Some("Hm0") => Ok(PaperTrace::Hm0),
+            Some("web0") | Some("Web0") => Ok(PaperTrace::Web0),
+            Some(other) => Err(format!("unknown workload {other:?} (fin1|fin2|hm0|web0)")),
+            None => Err("--workload required".into()),
+        }
+    }
+
+    fn load_trace(&self) -> Result<Trace, String> {
+        if let Some(path) = &self.input {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let r = BufReader::new(f);
+            match self.format.as_deref() {
+                Some("spc") | None => spc::parse(r, 4096).map_err(|e| e.to_string()),
+                Some("msr") => msr::parse(r, 4096, None).map_err(|e| e.to_string()),
+                Some(other) => Err(format!("unknown format {other:?} (spc|msr)")),
+            }
+        } else {
+            Ok(self.paper_trace()?.generate_scaled(self.scale, self.seed))
+        }
+    }
+
+    fn policies(&self) -> Result<Vec<PolicyKind>, String> {
+        match self.policy.as_deref().unwrap_or("all") {
+            "all" => Ok(vec![
+                PolicyKind::Nossd,
+                PolicyKind::Wa,
+                PolicyKind::Wt,
+                PolicyKind::Wb,
+                PolicyKind::LeavO,
+                PolicyKind::Kdd(0.50),
+                PolicyKind::Kdd(0.25),
+                PolicyKind::Kdd(0.12),
+            ]),
+            "nossd" => Ok(vec![PolicyKind::Nossd]),
+            "wt" => Ok(vec![PolicyKind::Wt]),
+            "wa" => Ok(vec![PolicyKind::Wa]),
+            "wb" => Ok(vec![PolicyKind::Wb]),
+            "leavo" => Ok(vec![PolicyKind::LeavO]),
+            "kdd-50" => Ok(vec![PolicyKind::Kdd(0.50)]),
+            "kdd-25" => Ok(vec![PolicyKind::Kdd(0.25)]),
+            "kdd-12" => Ok(vec![PolicyKind::Kdd(0.12)]),
+            other => Err(format!("unknown policy {other:?}")),
+        }
+    }
+}
+
+fn geometry_for(trace: &Trace, frac: f64) -> (CacheGeometry, RaidModel) {
+    let stats = TraceStats::compute(trace);
+    let cache_pages = ((stats.unique_total as f64 * frac) as u64).max(256);
+    let g = CacheGeometry {
+        total_pages: cache_pages,
+        ways: 64.min(cache_pages as u32),
+        page_size: 4096,
+    };
+    let raid = RaidModel::paper_default(trace.address_space_pages().max(1024));
+    (g, raid)
+}
+
+/// `gen-trace`: synthesise a paper trace and write it out.
+pub fn gen_trace(o: &Opts) -> Result<(), String> {
+    let pt = o.paper_trace()?;
+    let trace = pt.generate_scaled(o.scale, o.seed);
+    let path = o.out.as_deref().ok_or("--out required")?;
+    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    match o.format.as_deref().unwrap_or("spc") {
+        "spc" => writer::write_spc(&trace, &mut w).map_err(|e| e.to_string())?,
+        "msr" => writer::write_msr(&trace, &mut w).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format {other:?} (spc|msr)")),
+    }
+    eprintln!(
+        "wrote {} requests ({}) to {path}",
+        trace.len(),
+        TraceStats::compute(&trace).table_row(pt.name()).trim()
+    );
+    Ok(())
+}
+
+/// `stats`: Table-I statistics of a trace.
+pub fn stats(o: &Opts) -> Result<(), String> {
+    let mut o2 = Opts { input: o.input.clone(), format: o.format.clone(), ..Opts::default() };
+    if o2.input.is_none() {
+        o2.input = o.positional.first().cloned();
+    }
+    if o2.input.is_none() {
+        // No file: fall back to a synthetic workload.
+        o2.workload = o.workload.clone();
+    }
+    let label = o2
+        .input
+        .clone()
+        .or(o.workload.clone())
+        .unwrap_or_else(|| "trace".into());
+    let o_load = Opts { scale: o.scale, seed: o.seed, ..o2 };
+    let trace = o_load.load_trace()?;
+    println!("{}", TraceStats::table_header());
+    println!("{}", TraceStats::compute(&trace).table_row(&label));
+    println!(
+        "duration: {}   address space: {} pages",
+        trace.duration(),
+        trace.address_space_pages()
+    );
+    Ok(())
+}
+
+/// `sim`: counting simulation — hit ratio, SSD traffic, metadata share.
+pub fn sim(o: &Opts) -> Result<(), String> {
+    let trace = o.load_trace()?;
+    let (g, raid) = geometry_for(&trace, o.cache_frac);
+    println!(
+        "cache: {} pages ({} sets x {} ways)",
+        g.total_pages,
+        g.sets(),
+        g.ways
+    );
+    println!(
+        "{:<9} {:>8} {:>14} {:>10} {:>12} {:>12}",
+        "policy", "hit%", "ssd writes", "meta%", "raid reads", "raid writes"
+    );
+    for kind in o.policies()? {
+        let mut p = build_policy(kind, g, raid, o.seed);
+        p.run_trace(&trace);
+        let s = p.stats();
+        println!(
+            "{:<9} {:>7.1}% {:>14} {:>9.2}% {:>12} {:>12}",
+            p.name(),
+            s.hit_ratio() * 100.0,
+            format!("{}", s.ssd_write_bytes(4096)),
+            s.metadata_fraction() * 100.0,
+            s.raid_reads,
+            s.raid_writes
+        );
+    }
+    Ok(())
+}
+
+/// `replay`: open-loop latency (Figure 9 style).
+pub fn replay(o: &Opts) -> Result<(), String> {
+    let trace = o.load_trace()?;
+    let (g, raid) = geometry_for(&trace, o.cache_frac);
+    let model = ServiceModel::paper_default();
+    println!(
+        "{:<9} {:>8} {:>12} {:>12} {:>12}",
+        "policy", "hit%", "mean resp", "p50", "p99"
+    );
+    for kind in o.policies()? {
+        let mut p = build_policy(kind, g, raid, o.seed);
+        let r = replay_open_loop(p.as_mut(), &trace, &model, 5, 1);
+        println!(
+            "{:<9} {:>7.1}% {:>12} {:>12} {:>12}",
+            r.policy,
+            r.hit_ratio * 100.0,
+            format!("{}", r.mean_response),
+            format!("{}", r.p50),
+            format!("{}", r.p99)
+        );
+    }
+    Ok(())
+}
+
+/// `fio`: closed-loop Zipf load (Figures 10/11 style).
+pub fn fio(o: &Opts) -> Result<(), String> {
+    let cfg = FioConfig::paper(o.read_rate).scaled(o.scale);
+    let cache_pages = ((1u64 << 30) / 4096 / o.scale).max(64);
+    let g = CacheGeometry {
+        total_pages: cache_pages,
+        ways: 64.min(cache_pages as u32),
+        page_size: 4096,
+    };
+    let raid = RaidModel::paper_default(cfg.wss_pages.max(1024));
+    let model = ServiceModel::paper_default();
+    println!(
+        "read rate {:.0}%, WSS {} pages, volume {} pages, cache {} pages, {} threads",
+        o.read_rate * 100.0,
+        cfg.wss_pages,
+        cfg.total_pages,
+        cache_pages,
+        cfg.threads
+    );
+    println!(
+        "{:<9} {:>8} {:>12} {:>12} {:>14}",
+        "policy", "hit%", "mean resp", "p99", "ssd writes"
+    );
+    for kind in o.policies()? {
+        let mut p = build_policy(kind, g, raid, o.seed);
+        let mut w = FioWorkload::new(cfg, o.seed + 1);
+        let r = run_closed_loop(p.as_mut(), &mut w, &model, 5);
+        println!(
+            "{:<9} {:>7.1}% {:>12} {:>12} {:>14}",
+            r.policy,
+            r.hit_ratio * 100.0,
+            format!("{}", r.mean_response),
+            format!("{}", r.p99),
+            format!("{}", r.ssd_write_bytes)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let o = Opts::parse(&s(&[
+            "--workload", "fin1", "--scale", "500", "--policy", "kdd-25", "file.spc",
+        ]))
+        .unwrap();
+        assert_eq!(o.workload.as_deref(), Some("fin1"));
+        assert_eq!(o.scale, 500);
+        assert_eq!(o.positional, vec!["file.spc"]);
+        assert_eq!(o.policies().unwrap(), vec![PolicyKind::Kdd(0.25)]);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Opts::parse(&s(&["--bogus", "1"])).is_err());
+        assert!(Opts::parse(&s(&["--scale"])).is_err());
+        assert!(Opts::parse(&s(&["--scale", "x"])).is_err());
+    }
+
+    #[test]
+    fn workload_names_resolve() {
+        for (name, pt) in [
+            ("fin1", PaperTrace::Fin1),
+            ("fin2", PaperTrace::Fin2),
+            ("hm0", PaperTrace::Hm0),
+            ("web0", PaperTrace::Web0),
+        ] {
+            let o = Opts::parse(&s(&["--workload", name])).unwrap();
+            assert_eq!(o.paper_trace().unwrap(), pt);
+        }
+        let o = Opts::parse(&s(&["--workload", "zzz"])).unwrap();
+        assert!(o.paper_trace().is_err());
+    }
+
+    #[test]
+    fn gen_stats_sim_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir().join(format!("kddtool-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.spc");
+        let o = Opts::parse(&s(&[
+            "--workload", "fin2", "--scale", "4000", "--out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        gen_trace(&o).unwrap();
+        let o2 = Opts::parse(&s(&["--format", "spc", "--in", path.to_str().unwrap()])).unwrap();
+        stats(&o2).unwrap();
+        let o3 = Opts::parse(&s(&[
+            "--in", path.to_str().unwrap(), "--policy", "kdd-25", "--cache-frac", "0.2",
+        ]))
+        .unwrap();
+        sim(&o3).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_smoke() {
+        let o = Opts::parse(&s(&["--workload", "hm0", "--scale", "4000", "--policy", "kdd-12"])).unwrap();
+        replay(&o).unwrap();
+    }
+
+    #[test]
+    fn fio_smoke() {
+        let o = Opts::parse(&s(&["--read-rate", "0.5", "--scale", "8192", "--policy", "wt"])).unwrap();
+        fio(&o).unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! `kddtool` — command-line workbench for the KDD stack.
+//!
+//! ```text
+//! kddtool gen-trace --workload fin1 --scale 200 --format spc --out fin1.spc
+//! kddtool stats --format spc fin1.spc
+//! kddtool sim --workload fin1 --scale 200 --policy kdd-25 --cache-frac 0.15
+//! kddtool replay --workload hm0 --scale 200 --policy all
+//! kddtool fio --read-rate 0.25 --scale 1024 --policy all
+//! ```
+
+mod cmd;
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        exit(2);
+    };
+    let opts = cmd::Opts::parse(rest).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage();
+        exit(2);
+    });
+    let result = match cmd.as_str() {
+        "gen-trace" => cmd::gen_trace(&opts),
+        "stats" => cmd::stats(&opts),
+        "sim" => cmd::sim(&opts),
+        "replay" => cmd::replay(&opts),
+        "fio" => cmd::fio(&opts),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "kddtool — KDD endurable-SSD-cache workbench
+
+commands:
+  gen-trace   generate a synthetic paper trace and write it to disk
+              --workload fin1|fin2|hm0|web0  --scale N
+              --format spc|msr  --out FILE
+  stats       Table-I statistics of a trace file
+              --format spc|msr  <FILE>
+  sim         trace-driven cache simulation (hit ratio, SSD traffic)
+              --workload ...|--in FILE --format ...  --scale N
+              --policy nossd|wt|wa|wb|leavo|kdd-50|kdd-25|kdd-12|all
+              --cache-frac F (of unique pages; default 0.15)
+  replay      open-loop latency replay (Figure 9 style)
+              same selectors as sim
+  fio         closed-loop Zipf load (Figures 10/11 style)
+              --read-rate F  --scale N  --policy ...
+
+common:       --seed N (default 42)"
+    );
+}

@@ -1,0 +1,1236 @@
+//! The prototype-style KDD engine: real bytes, real devices, real
+//! recovery.
+//!
+//! Where [`crate::policy::KddPolicy`] *counts* I/O for the trace
+//! simulations, `KddEngine` *performs* it, playing the role of the
+//! paper's kernel prototype (Linux MD + EnhanceIO, §IV-B1):
+//!
+//! * data lives on a [`RaidArray`] of in-memory member disks;
+//! * the cache lives on an [`SsdDevice`] with a page-mapped FTL, so every
+//!   write ages real wear counters;
+//! * write hits compute a genuine XOR delta against the cached page,
+//!   compress it with [`kdd_delta::codec`], stage it in NVRAM and pack it
+//!   into DEZ pages behind an `(lba, off, len)` directory;
+//! * the metadata log serialises real entries into the metadata partition
+//!   at the front of the SSD (Figure 2's layout), and power-failure
+//!   recovery *re-reads those pages from flash* to rebuild the primary
+//!   map (§III-E1);
+//! * SSD failure recovers by RAID resync; HDD failure by
+//!   parity-update-then-rebuild (§III-E2).
+//!
+//! Operations return the simulated device time they consumed (flash times
+//! from the FTL model; member-disk operations charged a flat 8 ms random
+//! access — the engine measures correctness and relative cost, the
+//! discrete-event simulator in `kdd-sim` owns precise timing).
+
+use crate::config::KddConfig;
+use crate::metalog::{CommitBatch, LogEntry, MetaLog};
+use crate::staging::StagingBuffer;
+use kdd_blockdev::error::DevError;
+use kdd_blockdev::nvram::Nvram;
+use kdd_blockdev::ssd::SsdDevice;
+use kdd_cache::policies::PendingRows;
+use kdd_cache::setassoc::{InsertOutcome, PageState, SetAssocCache};
+use kdd_cache::stats::CacheStats;
+use kdd_delta::codec;
+use kdd_delta::xor::xor_into;
+use kdd_raid::array::{RaidArray, RaidError};
+use kdd_util::hash::FastMap;
+use kdd_util::units::SimTime;
+
+/// Flat service time charged per member-disk operation.
+const DISK_OP: SimTime = SimTime(8_000_000);
+
+/// Engine-level errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// SSD-side failure.
+    Dev(DevError),
+    /// RAID-side failure.
+    Raid(RaidError),
+    /// Delta decode failure (corrupt DEZ page).
+    Codec(codec::CompressError),
+    /// Layout problem (SSD too small, corrupt metadata page).
+    Layout(String),
+}
+
+impl From<DevError> for EngineError {
+    fn from(e: DevError) -> Self {
+        EngineError::Dev(e)
+    }
+}
+
+impl From<RaidError> for EngineError {
+    fn from(e: RaidError) -> Self {
+        EngineError::Raid(e)
+    }
+}
+
+impl From<codec::CompressError> for EngineError {
+    fn from(e: codec::CompressError) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Dev(e) => write!(f, "ssd: {e}"),
+            EngineError::Raid(e) => write!(f, "raid: {e}"),
+            EngineError::Codec(e) => write!(f, "delta codec: {e}"),
+            EngineError::Layout(s) => write!(f, "layout: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Entry state on flash (Figure 3's `state` field, persisted subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Data cached, parity consistent.
+    Clean,
+    /// Data cached with a pending delta.
+    Old,
+    /// Mapping removed (tombstone).
+    Free,
+}
+
+/// Where a committed delta lives inside the DEZ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRef {
+    /// DEZ cache slot.
+    pub slot: u32,
+    /// Byte offset within the DEZ page.
+    pub off: u16,
+    /// Compressed length in bytes.
+    pub len: u16,
+}
+
+/// One persistent mapping entry (Figure 3's fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapEntry {
+    /// RAID address of the cached page (`lba_raid`, the coalescing key).
+    pub lba_raid: u64,
+    /// Cache slot (`lba_daz` analogue) holding the data.
+    pub slot: u32,
+    /// Recorded page state.
+    pub state: EntryState,
+    /// `(lba_dez, off, len)` for *old* pages whose delta is committed.
+    pub dez: Option<DeltaRef>,
+}
+
+impl LogEntry for MapEntry {
+    fn key(&self) -> u64 {
+        self.lba_raid
+    }
+
+    fn is_tombstone(&self) -> bool {
+        self.state == EntryState::Free
+    }
+}
+
+/// Serialised entry size on flash.
+const ENTRY_BYTES: usize = 22;
+
+impl MapEntry {
+    fn encode(self) -> [u8; ENTRY_BYTES] {
+        let mut b = [0u8; ENTRY_BYTES];
+        b[..8].copy_from_slice(&self.lba_raid.to_le_bytes());
+        b[8..12].copy_from_slice(&self.slot.to_le_bytes());
+        b[12] = match self.state {
+            EntryState::Clean => 1,
+            EntryState::Old => 2,
+            EntryState::Free => 3,
+        };
+        if let Some(d) = self.dez {
+            b[13] = 1;
+            b[14..18].copy_from_slice(&d.slot.to_le_bytes());
+            b[18..20].copy_from_slice(&d.off.to_le_bytes());
+            b[20..22].copy_from_slice(&d.len.to_le_bytes());
+        }
+        b
+    }
+
+    fn decode(b: &[u8]) -> Option<MapEntry> {
+        if b.len() < ENTRY_BYTES {
+            return None;
+        }
+        let lba_raid = u64::from_le_bytes(b[..8].try_into().unwrap());
+        let slot = u32::from_le_bytes(b[8..12].try_into().unwrap());
+        let state = match b[12] {
+            1 => EntryState::Clean,
+            2 => EntryState::Old,
+            3 => EntryState::Free,
+            _ => return None,
+        };
+        let dez = (b[13] == 1).then(|| DeltaRef {
+            slot: u32::from_le_bytes(b[14..18].try_into().unwrap()),
+            off: u16::from_le_bytes(b[18..20].try_into().unwrap()),
+            len: u16::from_le_bytes(b[20..22].try_into().unwrap()),
+        });
+        Some(MapEntry { lba_raid, slot, state, dez })
+    }
+}
+
+/// Where a page's delta currently lives (volatile index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaLoc {
+    Staged,
+    Dez(DeltaRef),
+}
+
+/// In-memory descriptor of one DEZ page: the pages whose valid delta it
+/// holds.
+#[derive(Debug, Clone, Default)]
+struct DezInfo {
+    lbas: kdd_util::hash::FastSet<u64>,
+}
+
+/// NVRAM-resident state: survives power failure.
+#[derive(Debug, Clone)]
+struct NvState {
+    staging: StagingBuffer<Vec<u8>>,
+}
+
+/// The prototype-style engine.
+pub struct KddEngine {
+    config: KddConfig,
+    ssd: SsdDevice,
+    raid: RaidArray,
+    cache: SetAssocCache,
+    nv: Nvram<NvState>,
+    metalog: MetaLog<MapEntry>,
+    delta_loc: FastMap<u64, DeltaLoc>,
+    dez: FastMap<u32, DezInfo>,
+    pending_rows: PendingRows,
+    stats: CacheStats,
+    meta_pages: u64,
+}
+
+impl KddEngine {
+    /// Build an engine: the SSD's first `meta_partition_pages` form the
+    /// metadata partition, the rest back the cache slots (Figure 2).
+    pub fn new(config: KddConfig, ssd: SsdDevice, raid: RaidArray) -> Result<Self, EngineError> {
+        let meta_pages = config.meta_partition_pages();
+        let need = meta_pages + config.geometry.total_pages;
+        if need > ssd.capacity_pages() {
+            return Err(EngineError::Layout(format!(
+                "SSD has {} pages; need {need} (meta {meta_pages} + cache {})",
+                ssd.capacity_pages(),
+                config.geometry.total_pages
+            )));
+        }
+        if config.geometry.page_size != ssd.page_size() || config.geometry.page_size != raid.page_size() {
+            return Err(EngineError::Layout("page sizes must match across devices".into()));
+        }
+        let grouping = kdd_cache::setassoc::SetGrouping::ParityRow {
+            chunk_pages: raid.layout().chunk_pages,
+            data_disks: raid.layout().data_disks() as u64,
+        };
+        let epp = (config.geometry.page_size as usize - 10) / ENTRY_BYTES;
+        Ok(KddEngine {
+            cache: SetAssocCache::new_grouped(config.geometry, grouping),
+            nv: Nvram::new(
+                NvState { staging: StagingBuffer::new(config.staging_bytes) },
+                config.staging_bytes as u64 * 2,
+            ),
+            metalog: MetaLog::new(meta_pages, epp),
+            delta_loc: FastMap::default(),
+            dez: FastMap::default(),
+            pending_rows: PendingRows::default(),
+            stats: CacheStats::default(),
+            meta_pages,
+            config,
+            ssd,
+            raid,
+        })
+    }
+
+    /// Cumulative cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The SSD backing the cache (endurance inspection).
+    pub fn ssd(&self) -> &SsdDevice {
+        &self.ssd
+    }
+
+    /// The RAID array underneath (stale-row inspection).
+    pub fn raid(&self) -> &RaidArray {
+        &self.raid
+    }
+
+    /// Mutable RAID access for fault injection in tests and examples.
+    pub fn raid_mut(&mut self) -> &mut RaidArray {
+        &mut self.raid
+    }
+
+    /// Rows with delayed parity.
+    pub fn pending_row_count(&self) -> usize {
+        self.pending_rows.pending_rows()
+    }
+
+    /// Deltas currently staged in NVRAM.
+    pub fn staged_deltas(&self) -> usize {
+        self.nv.get().staging.len()
+    }
+
+    fn page_size(&self) -> usize {
+        self.config.geometry.page_size as usize
+    }
+
+    #[inline]
+    fn slot_lpn(&self, slot: u32) -> u64 {
+        self.meta_pages + slot as u64
+    }
+
+    // ---- metadata persistence -------------------------------------------
+
+    fn persist_batches(&mut self, batches: Vec<CommitBatch<MapEntry>>, t: &mut SimTime) -> Result<(), EngineError> {
+        let ps = self.page_size();
+        for batch in batches {
+            let mut page = vec![0u8; ps];
+            page[..2].copy_from_slice(&(batch.entries.len() as u16).to_le_bytes());
+            page[2..10].copy_from_slice(&batch.seq.to_le_bytes());
+            for (i, e) in batch.entries.iter().enumerate() {
+                let off = 10 + i * ENTRY_BYTES;
+                page[off..off + ENTRY_BYTES].copy_from_slice(&e.encode());
+            }
+            *t += self.ssd.write_page(batch.slot, &page)?;
+            self.stats.ssd_meta_writes += 1;
+        }
+        Ok(())
+    }
+
+    fn log_entry(&mut self, e: MapEntry, t: &mut SimTime) -> Result<(), EngineError> {
+        let batches = self.metalog.push(e);
+        self.persist_batches(batches, t)
+    }
+
+    // ---- delta plumbing ---------------------------------------------------
+
+    fn invalidate_delta(&mut self, lba: u64) -> Result<(), EngineError> {
+        match self.delta_loc.remove(&lba) {
+            Some(DeltaLoc::Staged) => {
+                self.nv.get_mut().staging.remove(lba);
+            }
+            Some(DeltaLoc::Dez(r)) => {
+                let info = self.dez.get_mut(&r.slot).expect("DEZ accounting broken");
+                info.lbas.remove(&lba);
+                if info.lbas.is_empty() {
+                    self.dez.remove(&r.slot);
+                    self.ssd.trim_page(self.slot_lpn(r.slot))?;
+                    self.cache.free_slot(r.slot);
+                }
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Pack the staged deltas into DEZ pages: each page carries a
+    /// directory of `(lba, off, len)` records followed by the compressed
+    /// payloads. Usually one page suffices (the staging buffer is one page
+    /// of *payload*); the directory overhead can spill a few deltas into a
+    /// second page.
+    fn commit_staging(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        if self.nv.get().staging.is_empty() {
+            return Ok(());
+        }
+        let ps = self.page_size();
+        let mut queue: std::collections::VecDeque<(u64, Vec<u8>)> =
+            self.nv.get_mut().staging.drain().into();
+        while !queue.is_empty() {
+            let Some(slot) = self.alloc_dez_slot(t)? else {
+                // Fully pinned cache: push the rest back into NVRAM.
+                for (lba, payload) in queue {
+                    self.nv.get_mut().staging.insert(lba, payload);
+                    self.delta_loc.insert(lba, DeltaLoc::Staged);
+                }
+                return Ok(());
+            };
+            // Greedy fill: each delta costs 12B of directory + its bytes.
+            let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut used = 2usize;
+            while let Some((_, payload)) = queue.front() {
+                if used + 12 + payload.len() > ps {
+                    break;
+                }
+                used += 12 + payload.len();
+                batch.push(queue.pop_front().unwrap());
+            }
+            assert!(!batch.is_empty(), "one delta must always fit a DEZ page");
+            let mut page = vec![0u8; ps];
+            page[..2].copy_from_slice(&(batch.len() as u16).to_le_bytes());
+            let mut dir_off = 2;
+            let mut data_off = 2 + batch.len() * 12;
+            let mut refs = Vec::with_capacity(batch.len());
+            for (lba, payload) in &batch {
+                let len = payload.len();
+                page[dir_off..dir_off + 8].copy_from_slice(&lba.to_le_bytes());
+                page[dir_off + 8..dir_off + 10].copy_from_slice(&(data_off as u16).to_le_bytes());
+                page[dir_off + 10..dir_off + 12].copy_from_slice(&(len as u16).to_le_bytes());
+                page[data_off..data_off + len].copy_from_slice(payload);
+                refs.push((*lba, DeltaRef { slot, off: data_off as u16, len: len as u16 }));
+                dir_off += 12;
+                data_off += len;
+            }
+            *t += self.ssd.write_page(self.slot_lpn(slot), &page)?;
+            self.stats.ssd_delta_writes += 1;
+            let mut info = DezInfo::default();
+            for (lba, _) in &batch {
+                info.lbas.insert(*lba);
+            }
+            self.dez.insert(slot, info);
+            for (lba, r) in refs {
+                self.delta_loc.insert(lba, DeltaLoc::Dez(r));
+                let slot_of = self.cache.lookup(lba).expect("old page must be cached");
+                self.log_entry(
+                    MapEntry { lba_raid: lba, slot: slot_of, state: EntryState::Old, dez: Some(r) },
+                    t,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_dez_slot(&mut self, t: &mut SimTime) -> Result<Option<u32>, EngineError> {
+        if let Some(slot) = self.cache.alloc_delta_slot() {
+            return Ok(Some(slot));
+        }
+        let victim = self
+            .cache
+            .iter_mapped()
+            .find(|&(_, _, s)| s == PageState::Clean)
+            .map(|(slot, lba, _)| (slot, lba));
+        if let Some((slot, lba)) = victim {
+            self.evict_clean(slot, lba, t)?;
+            return Ok(self.cache.alloc_delta_slot());
+        }
+        Ok(None)
+    }
+
+    fn evict_clean(&mut self, slot: u32, lba: u64, t: &mut SimTime) -> Result<(), EngineError> {
+        self.ssd.trim_page(self.slot_lpn(slot))?;
+        self.cache.free_slot(slot);
+        self.stats.evictions += 1;
+        self.log_entry(MapEntry { lba_raid: lba, slot, state: EntryState::Free, dez: None }, t)
+    }
+
+    /// Fetch the staged or committed compressed delta for an *old* page.
+    fn read_delta(&self, lba: u64, t: &mut SimTime) -> Result<Vec<u8>, EngineError> {
+        match self.delta_loc.get(&lba) {
+            Some(DeltaLoc::Staged) => Ok(self
+                .nv
+                .get()
+                .staging
+                .get(lba)
+                .expect("staged delta index broken")
+                .clone()),
+            Some(DeltaLoc::Dez(r)) => {
+                let mut page = vec![0u8; self.page_size()];
+                *t += self.ssd.read_page(self.slot_lpn(r.slot), &mut page)?;
+                Ok(page[r.off as usize..r.off as usize + r.len as usize].to_vec())
+            }
+            None => panic!("old page {lba} has no delta"),
+        }
+    }
+
+    /// Current content of a cached page: for *old* pages, base ⊕ delta —
+    /// §III-A's read-hit combine.
+    fn read_cached(&self, lba: u64, slot: u32, t: &mut SimTime) -> Result<Vec<u8>, EngineError> {
+        let mut data = vec![0u8; self.page_size()];
+        *t += self.ssd.read_page(self.slot_lpn(slot), &mut data)?;
+        if self.cache.state(slot) == PageState::Old {
+            let comp = self.read_delta(lba, t)?;
+            let delta = codec::decompress(&comp)?;
+            // "it takes only tens of microseconds to decompress the delta
+            // and combine it with the data" (§IV-B2).
+            *t += SimTime::from_micros(20);
+            xor_into(&mut data, &delta);
+        }
+        Ok(data)
+    }
+
+    // ---- public I/O -------------------------------------------------------
+
+    /// Read one page: `(data, simulated service time)`.
+    pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
+        let mut t = SimTime::ZERO;
+        let (hit, data) = match self.cache.lookup(lba) {
+            Some(slot) => {
+                self.cache.touch(slot);
+                self.stats.ssd_reads += 1;
+                (true, self.read_cached(lba, slot, &mut t)?)
+            }
+            None => {
+                let mut buf = vec![0u8; self.page_size()];
+                let cost = self.raid.read_page(lba, &mut buf)?;
+                t += DISK_OP * cost.reads().max(1) as u64;
+                self.fill_clean(lba, &buf, &mut t)?;
+                (false, buf)
+            }
+        };
+        self.bump(true, hit);
+        Ok((data, t))
+    }
+
+    /// Write one page; returns the simulated service time.
+    pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
+        assert_eq!(data.len(), self.page_size(), "writes are page-granular");
+        let mut t = SimTime::ZERO;
+        let hit = match self.cache.lookup(lba) {
+            Some(slot) => {
+                // THE KDD WRITE HIT: delta to NVRAM, data to RAID without
+                // a parity update.
+                self.cache.touch(slot);
+                let mut delta = vec![0u8; self.page_size()];
+                t += self.ssd.read_page(self.slot_lpn(slot), &mut delta)?;
+                xor_into(&mut delta, data); // base ⊕ new
+                let comp = codec::compress(&delta);
+                t += SimTime::from_micros(30); // compression CPU cost
+                if self.cache.state(slot) == PageState::Clean {
+                    self.cache.set_state(slot, PageState::Old);
+                }
+                self.invalidate_delta(lba)?;
+                // A delta must fit a DEZ page alongside its directory
+                // record; pages that XOR-compress worse than that are
+                // treated as incompressible (full write-through below).
+                let compressible = comp.len() + 14 <= self.page_size()
+                    && comp.len() as u32 <= self.nv.get().staging.capacity_bytes();
+                if compressible && !self.nv.get().staging.fits(lba, &comp) {
+                    self.commit_staging(&mut t)?;
+                }
+                if compressible && self.nv.get().staging.fits(lba, &comp) {
+                    self.nv.get_mut().staging.insert(lba, comp);
+                    self.delta_loc.insert(lba, DeltaLoc::Staged);
+                    let cost = self.raid.write_no_parity_update(lba, data)?;
+                    t += DISK_OP * cost.writes() as u64;
+                    let row = self.raid.layout().row_of(lba);
+                    self.pending_rows.add(row, lba);
+                } else {
+                    // Incompressible delta or fully pinned cache: fall
+                    // back to a conventional parity write. Detach this
+                    // page from the pending set first (its delta is gone),
+                    // resolve any *other* pending deltas of the row, then
+                    // write through.
+                    self.cache.set_state(slot, PageState::Clean);
+                    let row = self.raid.layout().row_of(lba);
+                    let mut rest = self.pending_rows.take_row(row);
+                    rest.retain(|&l| l != lba);
+                    for &l in &rest {
+                        self.pending_rows.add(row, l);
+                    }
+                    // On a stale row the array reconstructs parity from
+                    // current member data, absorbing every pending delta
+                    // of the row — clean_row afterwards only reclaims
+                    // (its parity step is skipped once staleness cleared).
+                    let cost = self.raid.write_page(lba, data)?;
+                    t += DISK_OP * 2 * cost.writes().max(1) as u64;
+                    t += self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    self.stats.ssd_data_writes += 1;
+                    self.clean_row(row, &mut t)?;
+                }
+                self.maybe_clean(&mut t)?;
+                true
+            }
+            None => {
+                // Conventional write miss (§III-A): cache in DAZ, write to
+                // RAID with the normal parity update. If this row has
+                // delayed parity, the array's write would reconstruct it
+                // from current member data and silently absorb the pending
+                // deltas — repair and reclaim the row *first* so the
+                // pending bookkeeping cannot double-apply them later.
+                let row = self.raid.layout().row_of(lba);
+                self.clean_row(row, &mut t)?;
+                self.raid.write_page(lba, data)?;
+                t += DISK_OP * 2; // read round + write round
+                self.fill_clean(lba, data, &mut t)?;
+                false
+            }
+        };
+        self.bump(false, hit);
+        Ok(t)
+    }
+
+    fn fill_clean(&mut self, lba: u64, data: &[u8], t: &mut SimTime) -> Result<(), EngineError> {
+        loop {
+            match self.cache.insert(lba, PageState::Clean, |s| s == PageState::Clean) {
+                InsertOutcome::Inserted { slot } => {
+                    *t += self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    self.stats.ssd_data_writes += 1;
+                    self.log_entry(MapEntry { lba_raid: lba, slot, state: EntryState::Clean, dez: None }, t)?;
+                    return Ok(());
+                }
+                InsertOutcome::Evicted { slot, victim_lba, .. } => {
+                    self.stats.evictions += 1;
+                    self.log_entry(
+                        MapEntry { lba_raid: victim_lba, slot, state: EntryState::Free, dez: None },
+                        t,
+                    )?;
+                    *t += self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    self.stats.ssd_data_writes += 1;
+                    self.log_entry(MapEntry { lba_raid: lba, slot, state: EntryState::Clean, dez: None }, t)?;
+                    return Ok(());
+                }
+                InsertOutcome::NoRoom => {
+                    // Unpin one pending row of this set and retry; bypass
+                    // when nothing in the set can be cleaned.
+                    let set = self.cache.set_of_lba(lba);
+                    if !self.clean_one_row_in_set(set, t)? {
+                        return Ok(()); // bypass the cache
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clean the oldest pending row whose pages map to `set`; false when
+    /// none exists.
+    fn clean_one_row_in_set(&mut self, set: usize, t: &mut SimTime) -> Result<bool, EngineError> {
+        let row = self.pending_rows.row_ids().into_iter().find(|&row| {
+            self.raid
+                .layout()
+                .row_lpns(row)
+                .first()
+                .is_some_and(|&l| self.cache.set_of_lba(l) == set)
+        });
+        match row {
+            Some(row) => {
+                self.clean_row(row, t)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn bump(&mut self, is_read: bool, hit: bool) {
+        match (is_read, hit) {
+            (true, true) => self.stats.read_hits += 1,
+            (true, false) => self.stats.read_misses += 1,
+            (false, true) => self.stats.write_hits += 1,
+            (false, false) => self.stats.write_misses += 1,
+        }
+    }
+
+    fn maybe_clean(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        let trigger = self.config.clean_trigger_slots();
+        let pinned =
+            self.cache.count_state(PageState::Old) + self.cache.count_state(PageState::Delta);
+        if pinned as u64 * 4 >= trigger * 3 {
+            self.compact_dez(t)?;
+        }
+        let pinned =
+            self.cache.count_state(PageState::Old) + self.cache.count_state(PageState::Delta);
+        if pinned as u64 >= trigger {
+            self.clean_some(t)?;
+        }
+        Ok(())
+    }
+
+    /// Threshold cleaning: repair and reclaim oldest-stale rows first,
+    /// stopping just under the trigger so recently-written hot pages keep
+    /// their delta path (mirrors the accounting policy).
+    fn clean_some(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        let low = self.config.clean_trigger_slots() * 7 / 8;
+        loop {
+            let pinned = (self.cache.count_state(PageState::Old)
+                + self.cache.count_state(PageState::Delta)) as u64;
+            if pinned <= low {
+                break;
+            }
+            let Some(row) = self.pending_rows.oldest_row() else { break };
+            self.clean_row(row, t)?;
+        }
+        self.stats.cleanings += 1;
+        Ok(())
+    }
+
+    /// Live compressed bytes in one DEZ page.
+    fn dez_live_bytes(&self, slot: u32) -> u32 {
+        self.dez
+            .get(&slot)
+            .map(|info| {
+                info.lbas
+                    .iter()
+                    .map(|lba| match self.delta_loc.get(lba) {
+                        Some(DeltaLoc::Dez(r)) if r.slot == slot => r.len as u32,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Log-structured DEZ compaction (pressure-driven, as in the
+    /// accounting policy): merge the two emptiest pages — read both,
+    /// repack their live deltas into the destination slot, free the
+    /// source — while utilisation is under 85 % and a merge fits.
+    fn compact_dez(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        let ps = self.page_size();
+        loop {
+            if self.dez.len() < 4 {
+                return Ok(());
+            }
+            let live: u64 = self.dez.keys().map(|&s| self.dez_live_bytes(s) as u64).sum();
+            if live * 100 >= self.dez.len() as u64 * ps as u64 * 85 {
+                return Ok(());
+            }
+            let mut pages: Vec<(u32, u32, usize)> = self
+                .dez
+                .iter()
+                .map(|(&s, info)| (s, self.dez_live_bytes(s), info.lbas.len()))
+                .collect();
+            pages.sort_by_key(|&(_, b, _)| b);
+            let (dst, db, dn) = pages[0];
+            let (src, sb, sn) = pages[1];
+            // Fit check: both payloads plus the merged directory.
+            if 2 + (dn + sn) * 12 + db as usize + sb as usize > ps {
+                return Ok(());
+            }
+            // Gather live deltas from both pages.
+            let mut deltas: Vec<(u64, Vec<u8>)> = Vec::with_capacity(dn + sn);
+            for slot in [dst, src] {
+                let lbas: Vec<u64> = self.dez[&slot].lbas.iter().copied().collect();
+                for lba in lbas {
+                    let payload = self.read_delta(lba, t)?;
+                    deltas.push((lba, payload));
+                }
+            }
+            // Repack into the destination slot.
+            let mut page = vec![0u8; ps];
+            page[..2].copy_from_slice(&(deltas.len() as u16).to_le_bytes());
+            let mut dir_off = 2;
+            let mut data_off = 2 + deltas.len() * 12;
+            let mut info = DezInfo::default();
+            for (lba, payload) in &deltas {
+                let len = payload.len();
+                page[dir_off..dir_off + 8].copy_from_slice(&lba.to_le_bytes());
+                page[dir_off + 8..dir_off + 10].copy_from_slice(&(data_off as u16).to_le_bytes());
+                page[dir_off + 10..dir_off + 12].copy_from_slice(&(len as u16).to_le_bytes());
+                page[data_off..data_off + len].copy_from_slice(payload);
+                self.delta_loc.insert(
+                    *lba,
+                    DeltaLoc::Dez(DeltaRef { slot: dst, off: data_off as u16, len: len as u16 }),
+                );
+                info.lbas.insert(*lba);
+                dir_off += 12;
+                data_off += len;
+            }
+            *t += self.ssd.write_page(self.slot_lpn(dst), &page)?;
+            self.stats.ssd_delta_writes += 1;
+            self.dez.insert(dst, info);
+            // Retire the source page.
+            self.dez.remove(&src);
+            self.ssd.trim_page(self.slot_lpn(src))?;
+            self.cache.free_slot(src);
+            // Re-log the moved mappings (offsets changed).
+            let moved: Vec<u64> = deltas.iter().map(|(l, _)| *l).collect();
+            for lba in moved {
+                let slot_of = self.cache.lookup(lba).expect("old page must be cached");
+                let r = match self.delta_loc[&lba] {
+                    DeltaLoc::Dez(r) => r,
+                    DeltaLoc::Staged => continue,
+                };
+                self.log_entry(
+                    MapEntry { lba_raid: lba, slot: slot_of, state: EntryState::Old, dez: Some(r) },
+                    t,
+                )?;
+            }
+        }
+    }
+
+    /// The cleaning pass (§III-D): repair every stale row (reconstruct-
+    /// write when the whole row is cached, read-modify-write otherwise),
+    /// then reclaim *old* pages and invalidate their deltas.
+    pub fn clean(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        let rows: Vec<u64> = self.pending_rows.row_ids();
+        for row in rows {
+            self.clean_row(row, t)?;
+        }
+        self.stats.cleanings += 1;
+        Ok(())
+    }
+
+    /// Repair one row and reclaim its old/delta pages.
+    fn clean_row(&mut self, row: u64, t: &mut SimTime) -> Result<(), EngineError> {
+        if !self.pending_rows.contains_row(row) {
+            return Ok(());
+        }
+        if self.raid.is_stale(row) {
+            let lpns = self.raid.layout().row_lpns(row);
+            let all_cached = lpns.iter().all(|&l| self.cache.lookup(l).is_some());
+            if all_cached {
+                // Reconstruct-write from cached current versions.
+                let mut datas = Vec::with_capacity(lpns.len());
+                for &l in &lpns {
+                    let slot = self.cache.lookup(l).unwrap();
+                    datas.push(self.read_cached(l, slot, t)?);
+                }
+                let refs: Vec<&[u8]> = datas.iter().map(|d| d.as_slice()).collect();
+                let cost = self.raid.parity_update_with_data(row, &refs)?;
+                *t += DISK_OP * cost.writes() as u64;
+            } else {
+                // RMW: fold each pending page's decompressed delta.
+                let pend: Vec<u64> = self
+                    .pending_rows
+                    .take_row(row)
+                    .into_iter()
+                    .collect();
+                for &l in &pend {
+                    self.pending_rows.add(row, l); // peek semantics
+                }
+                let mut deltas = Vec::new();
+                for &lba in &pend {
+                    let comp = self.read_delta(lba, t)?;
+                    let full = codec::decompress(&comp)?;
+                    debug_assert_eq!(full.len(), self.page_size());
+                    let loc = self.raid.layout().locate(lba);
+                    deltas.push((loc.data_index, full));
+                }
+                let refs: Vec<(usize, &[u8])> =
+                    deltas.iter().map(|(d, v)| (*d, v.as_slice())).collect();
+                let cost = self.raid.parity_update_rmw(row, &refs)?;
+                *t += DISK_OP * cost.ops.len() as u64;
+            }
+            self.stats.parity_updates += 1;
+        }
+        // Reclaim: free old pages, invalidate deltas (§III-D's "second
+        // scheme").
+        for lba in self.pending_rows.take_row(row) {
+            self.invalidate_delta(lba)?;
+            if let Some(slot) = self.cache.lookup(lba) {
+                debug_assert_eq!(self.cache.state(slot), PageState::Old);
+                self.ssd.trim_page(self.slot_lpn(slot))?;
+                self.cache.free_slot(slot);
+                self.log_entry(
+                    MapEntry { lba_raid: lba, slot, state: EntryState::Free, dez: None },
+                    t,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush everything: clean all rows, commit staged deltas, flush the
+    /// metadata buffer to flash.
+    pub fn flush(&mut self) -> Result<SimTime, EngineError> {
+        let mut t = SimTime::ZERO;
+        self.clean(&mut t)?;
+        self.commit_staging(&mut t)?;
+        let batches = self.metalog.flush();
+        self.persist_batches(batches, &mut t)?;
+        Ok(t)
+    }
+
+    // ---- failure handling (§III-E) ----------------------------------------
+
+    /// Simulate a power failure and recover (§III-E1): every volatile
+    /// structure is discarded; the primary map is rebuilt by replaying the
+    /// metadata-log pages *read back from flash* between the NVRAM head
+    /// and tail counters, then patched with the NVRAM metadata buffer and
+    /// the NVRAM staging buffer.
+    pub fn power_cycle(self) -> Result<KddEngine, EngineError> {
+        let config = self.config;
+        let meta_pages = self.meta_pages;
+        let ps = config.geometry.page_size as usize;
+
+        // 1. Flash replay between the NVRAM-preserved counters.
+        let (head, tail) = self.metalog.counters();
+        let mut recovered: FastMap<u64, MapEntry> = FastMap::default();
+        for seq in head..tail {
+            let slot = seq % meta_pages;
+            let mut page = vec![0u8; ps];
+            self.ssd.read_page(slot, &mut page)?;
+            let count = u16::from_le_bytes(page[..2].try_into().unwrap()) as usize;
+            let page_seq = u64::from_le_bytes(page[2..10].try_into().unwrap());
+            if page_seq != seq {
+                return Err(EngineError::Layout(format!(
+                    "metadata page {slot} holds seq {page_seq}, expected {seq}"
+                )));
+            }
+            for i in 0..count {
+                let off = 10 + i * ENTRY_BYTES;
+                let e = MapEntry::decode(&page[off..off + ENTRY_BYTES])
+                    .ok_or_else(|| EngineError::Layout("corrupt metadata entry".into()))?;
+                if e.is_tombstone() {
+                    recovered.remove(&e.key());
+                } else {
+                    recovered.insert(e.key(), e);
+                }
+            }
+        }
+        // 2. Apply the NVRAM metadata buffer (newer than anything logged).
+        for e in self.metalog.buffered_snapshot() {
+            if e.is_tombstone() {
+                recovered.remove(&e.key());
+            } else {
+                recovered.insert(e.key(), e);
+            }
+        }
+
+        // 3. Rebuild the directory, DEZ accounting and pending rows.
+        let grouping = kdd_cache::setassoc::SetGrouping::ParityRow {
+            chunk_pages: self.raid.layout().chunk_pages,
+            data_disks: self.raid.layout().data_disks() as u64,
+        };
+        let mut cache = SetAssocCache::new_grouped(config.geometry, grouping);
+        let mut delta_loc: FastMap<u64, DeltaLoc> = FastMap::default();
+        let mut dez: FastMap<u32, DezInfo> = FastMap::default();
+        let mut pending_rows = PendingRows::default();
+        for e in recovered.values() {
+            match e.state {
+                EntryState::Clean => cache.insert_at(e.slot, e.lba_raid, PageState::Clean),
+                EntryState::Old => {
+                    cache.insert_at(e.slot, e.lba_raid, PageState::Old);
+                    pending_rows.add(self.raid.layout().row_of(e.lba_raid), e.lba_raid);
+                    if let Some(r) = e.dez {
+                        delta_loc.insert(e.lba_raid, DeltaLoc::Dez(r));
+                        dez.entry(r.slot).or_default().lbas.insert(e.lba_raid);
+                    }
+                }
+                EntryState::Free => {}
+            }
+        }
+        for &slot in dez.keys() {
+            cache.occupy_delta_at(slot);
+        }
+        // 4. Deltas still in the NVRAM staging buffer supersede DEZ copies
+        //    and imply the page is old with pending parity.
+        let staged: Vec<u64> = self.nv.get().staging.snapshot().map(|(l, _)| l).collect();
+        for lba in staged {
+            if let Some(DeltaLoc::Dez(r)) = delta_loc.get(&lba).copied() {
+                if let Some(info) = dez.get_mut(&r.slot) {
+                    info.lbas.remove(&lba);
+                }
+            }
+            let Some(slot) = cache.lookup(lba) else {
+                return Err(EngineError::Layout(format!("staged delta for uncached page {lba}")));
+            };
+            delta_loc.insert(lba, DeltaLoc::Staged);
+            if cache.state(slot) != PageState::Old {
+                cache.set_state(slot, PageState::Old);
+            }
+            pending_rows.add(self.raid.layout().row_of(lba), lba);
+        }
+
+        Ok(KddEngine {
+            config,
+            ssd: self.ssd,
+            raid: self.raid,
+            cache,
+            nv: self.nv,
+            metalog: self.metalog,
+            delta_loc,
+            dez,
+            pending_rows,
+            stats: CacheStats::default(),
+            meta_pages,
+        })
+    }
+
+    /// SSD failure (§III-E2): the cache is lost; the RAID re-synchronises
+    /// stale parity by reconstruct-write (data blocks were always
+    /// dispatched to RAID), and a fresh SSD comes up empty. No data loss:
+    /// RPO 0.
+    pub fn recover_from_ssd_failure(&mut self) -> Result<SimTime, EngineError> {
+        let mut t = SimTime::ZERO;
+        self.ssd.fail();
+        let cost = self.raid.resync(None)?;
+        t += DISK_OP * cost.ops.len() as u64;
+        self.ssd.replace();
+        let grouping = kdd_cache::setassoc::SetGrouping::ParityRow {
+            chunk_pages: self.raid.layout().chunk_pages,
+            data_disks: self.raid.layout().data_disks() as u64,
+        };
+        self.cache = SetAssocCache::new_grouped(self.config.geometry, grouping);
+        self.nv.get_mut().staging.drain();
+        self.metalog = MetaLog::new(self.meta_pages, (self.page_size() - 10) / ENTRY_BYTES);
+        self.delta_loc.clear();
+        self.dez.clear();
+        self.pending_rows = PendingRows::default();
+        Ok(t)
+    }
+
+    /// HDD failure (§III-E2): "KDD first updates all parity blocks using
+    /// the parity_update interface and then triggers the rebuilding
+    /// process at the RAID layer."
+    pub fn recover_from_hdd_failure(&mut self, disk: usize) -> Result<SimTime, EngineError> {
+        let mut t = SimTime::ZERO;
+        self.raid.fail_disk(disk);
+        self.clean(&mut t)?;
+        let cost = self.raid.rebuild()?;
+        t += DISK_OP * (cost.ops.len() as u64 / self.raid.layout().disks as u64).max(1);
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdd_cache::setassoc::CacheGeometry;
+    use kdd_raid::layout::{Layout, RaidLevel};
+    use kdd_util::rng::seeded_rng;
+    use rand::RngExt;
+
+    const PS: u32 = 512;
+
+    fn engine(cache_pages: u64) -> KddEngine {
+        let layout = Layout::new(RaidLevel::Raid5, 5, 4, 4 * 32);
+        let raid = RaidArray::new(layout, PS);
+        let ssd = SsdDevice::with_logical_capacity((cache_pages + 64) * PS as u64, PS, 0.1);
+        let g = CacheGeometry { total_pages: cache_pages, ways: 8.min(cache_pages as u32), page_size: PS };
+        KddEngine::new(KddConfig::new(g), ssd, raid).unwrap()
+    }
+
+    fn page(tag: u64) -> Vec<u8> {
+        (0..PS as usize).map(|i| (tag as u8) ^ (i as u8).wrapping_mul(13)).collect()
+    }
+
+    fn similar_page(base: &[u8], tag: u8) -> Vec<u8> {
+        // Change ~10% of bytes, clustered.
+        let mut p = base.to_vec();
+        for i in 0..PS as usize / 10 {
+            p[(i * 7) % PS as usize] = tag ^ i as u8;
+        }
+        p
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_deltas() {
+        let mut e = engine(64);
+        let p0 = page(1);
+        e.write(10, &p0).unwrap(); // miss
+        let p1 = similar_page(&p0, 0xAA);
+        e.write(10, &p1).unwrap(); // hit → delta path
+        let (got, _) = e.read(10).unwrap();
+        assert_eq!(got, p1, "old ⊕ delta must equal the latest version");
+        // A third version (delta coalescing).
+        let p2 = similar_page(&p1, 0xBB);
+        e.write(10, &p2).unwrap();
+        let (got2, _) = e.read(10).unwrap();
+        assert_eq!(got2, p2);
+        assert_eq!(e.staged_deltas(), 1, "one coalesced delta");
+    }
+
+    #[test]
+    fn write_hit_leaves_parity_stale_until_clean() {
+        let mut e = engine(64);
+        let p0 = page(2);
+        e.write(0, &p0).unwrap();
+        let row = e.raid().layout().row_of(0);
+        assert!(!e.raid().is_stale(row));
+        e.write(0, &similar_page(&p0, 1)).unwrap();
+        assert!(e.raid().is_stale(row), "parity must be delayed");
+        let mut t = SimTime::ZERO;
+        e.clean(&mut t).unwrap();
+        assert!(!e.raid().is_stale(row));
+        assert_eq!(e.pending_row_count(), 0);
+        // And the raid content is the latest version.
+        let mut buf = vec![0u8; PS as usize];
+        e.raid_mut().read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, similar_page(&page(2), 1));
+    }
+
+    #[test]
+    fn dez_commit_and_read_back() {
+        let mut e = engine(256);
+        // Fill many pages and rewrite them until the staging buffer
+        // (512B) commits DEZ pages.
+        // 8 LBAs per 16-page stripe group so no 8-way set overflows.
+        let lbas: Vec<u64> = (0..24u64).map(|i| (i / 8) * 16 + i % 8).collect();
+        let mut versions = FastMap::default();
+        for &lba in &lbas {
+            let p = page(lba);
+            e.write(lba, &p).unwrap();
+            versions.insert(lba, p);
+        }
+        for &lba in &lbas {
+            let next = similar_page(&versions[&lba], (lba as u8).wrapping_mul(37) | 1);
+            e.write(lba, &next).unwrap();
+            versions.insert(lba, next);
+        }
+        assert!(e.stats().ssd_delta_writes > 0, "staging must have committed");
+        for &lba in &lbas {
+            let (got, _) = e.read(lba).unwrap();
+            assert_eq!(got, versions[&lba], "lba {lba}");
+        }
+    }
+
+    #[test]
+    fn power_failure_recovers_exact_state() {
+        let mut e = engine(128);
+        let mut rng = seeded_rng(42);
+        let mut versions: FastMap<u64, Vec<u8>> = FastMap::default();
+        for _ in 0..600 {
+            // 8 LBAs per stripe group so the 8-way sets can hold them all.
+            let i = rng.random_range(0..40u64);
+            let lba = (i / 8) * 16 + i % 8;
+            if rng.random_bool(0.6) {
+                let next = match versions.get(&lba) {
+                    Some(v) => similar_page(v, rng.random()),
+                    None => page(lba),
+                };
+                e.write(lba, &next).unwrap();
+                versions.insert(lba, next);
+            } else {
+                let (got, _) = e.read(lba).unwrap();
+                if let Some(v) = versions.get(&lba) {
+                    assert_eq!(&got, v);
+                }
+            }
+        }
+        let hits_before = e.stats().read_hits + e.stats().write_hits;
+        assert!(hits_before > 0);
+        // Pull the plug.
+        let mut e2 = e.power_cycle().expect("recovery");
+        for (lba, v) in &versions {
+            let (got, _) = e2.read(*lba).unwrap();
+            assert_eq!(&got, v, "lba {lba} wrong after power cycle");
+        }
+        // The recovered cache must be warm: the verification reads above
+        // should mostly hit.
+        assert!(
+            e2.stats().read_hits > e2.stats().read_misses,
+            "cache came back cold: {} hits vs {} misses",
+            e2.stats().read_hits,
+            e2.stats().read_misses
+        );
+    }
+
+    #[test]
+    fn ssd_failure_recovers_with_rpo_zero() {
+        let mut e = engine(64);
+        let mut versions: FastMap<u64, Vec<u8>> = FastMap::default();
+        for lba in 0..8u64 {
+            let p = page(lba);
+            e.write(lba, &p).unwrap();
+            let p2 = similar_page(&p, 3);
+            e.write(lba, &p2).unwrap(); // leaves stale parity
+            versions.insert(lba, p2);
+        }
+        assert!(e.raid().stale_row_count() > 0, "writes must have left stale parity");
+        e.recover_from_ssd_failure().unwrap();
+        assert_eq!(e.raid().stale_row_count(), 0, "resync must repair parity");
+        // All data still present and correct (served from RAID now).
+        for (lba, v) in &versions {
+            let (got, _) = e.read(*lba).unwrap();
+            assert_eq!(&got, v, "lba {lba} lost after SSD failure");
+        }
+        // And redundancy is real again: degrade a disk and re-check.
+        e.raid_mut().fail_disk(2);
+        for (lba, v) in versions.iter().take(8) {
+            let mut buf = vec![0u8; PS as usize];
+            e.raid_mut().read_page(*lba, &mut buf).unwrap();
+            assert_eq!(&buf, v, "degraded read of {lba}");
+        }
+    }
+
+    #[test]
+    fn hdd_failure_parity_update_then_rebuild() {
+        let mut e = engine(64);
+        let mut versions: FastMap<u64, Vec<u8>> = FastMap::default();
+        for lba in 0..32u64 {
+            let p = page(lba ^ 7);
+            e.write(lba, &p).unwrap();
+            let p2 = similar_page(&p, 9);
+            e.write(lba, &p2).unwrap();
+            versions.insert(lba, p2);
+        }
+        assert!(e.raid().stale_row_count() > 0);
+        e.recover_from_hdd_failure(1).unwrap();
+        assert!(e.raid().failed_disks().is_empty());
+        assert_eq!(e.raid().stale_row_count(), 0);
+        for (lba, v) in &versions {
+            let mut buf = vec![0u8; PS as usize];
+            e.raid_mut().read_page(*lba, &mut buf).unwrap();
+            assert_eq!(&buf, v, "lba {lba} wrong after rebuild");
+        }
+    }
+
+    #[test]
+    fn dez_compaction_preserves_deltas_under_pressure() {
+        // Many hot pages rewritten with small deltas: invalidations decay
+        // DEZ pages; once pinned pages push past 3/4 of the cleaning
+        // trigger the compactor must merge pages without corrupting any
+        // delta.
+        // Small pages (512 B) shrink the metadata partition floor, so give
+        // this test a roomier one: 96 live mappings need ~5 pages at 22
+        // entries/page.
+        let layout = Layout::new(RaidLevel::Raid5, 5, 4, 4 * 32);
+        let raid = RaidArray::new(layout, PS);
+        let ssd = SsdDevice::with_logical_capacity((128 + 64) * PS as u64, PS, 0.1);
+        let g = CacheGeometry { total_pages: 128, ways: 8, page_size: PS };
+        let mut cfg = KddConfig::new(g);
+        cfg.meta_partition_frac = 0.08; // 10 pages
+        let mut e = KddEngine::new(cfg, ssd, raid).unwrap();
+        let lbas: Vec<u64> = (0..96u64).map(|i| (i / 8) * 16 + i % 8).collect();
+        let mut versions = FastMap::default();
+        for &lba in &lbas {
+            let p = page(lba);
+            e.write(lba, &p).unwrap();
+            versions.insert(lba, p);
+        }
+        for round in 0..3u8 {
+            for &lba in &lbas {
+                let next = similar_page(&versions[&lba], round.wrapping_mul(91) | 1);
+                e.write(lba, &next).unwrap();
+                versions.insert(lba, next);
+            }
+        }
+        // Every page must still combine to its latest version.
+        for &lba in &lbas {
+            let (got, _) = e.read(lba).unwrap();
+            assert_eq!(got, versions[&lba], "lba {lba} corrupted");
+        }
+        // DEZ footprint must stay bounded relative to its live bytes.
+        let dez_pages = e.cache.count_state(PageState::Delta);
+        assert!(dez_pages <= 96, "DEZ blew up: {dez_pages} pages");
+    }
+
+    #[test]
+    fn endurance_counters_age_with_traffic() {
+        let mut e = engine(64);
+        for lba in 0..32u64 {
+            e.write(lba, &page(lba)).unwrap();
+        }
+        let rep = e.ssd().endurance();
+        assert!(rep.host_written_bytes > 0);
+        assert!(rep.waf() >= 1.0);
+    }
+
+    #[test]
+    fn too_small_ssd_rejected() {
+        let layout = Layout::new(RaidLevel::Raid5, 5, 4, 4 * 8);
+        let raid = RaidArray::new(layout, PS);
+        let ssd = SsdDevice::with_logical_capacity(16 * PS as u64, PS, 0.1);
+        // Ask for a cache far larger than any geometry the tiny request
+        // could have produced.
+        let g = CacheGeometry { total_pages: 10_000_000, ways: 8, page_size: PS };
+        assert!(matches!(
+            KddEngine::new(KddConfig::new(g), ssd, raid),
+            Err(EngineError::Layout(_))
+        ));
+    }
+
+    #[test]
+    fn cleaning_threshold_bounds_pinned_pages() {
+        let mut e = engine(64); // trigger ≈ 12 slots
+        for round in 0..4u8 {
+            for lba in 0..40u64 {
+                let base = match e.read(lba) {
+                    Ok((d, _)) => d,
+                    Err(_) => page(lba),
+                };
+                e.write(lba, &similar_page(&base, round)).unwrap();
+            }
+        }
+        let pinned = e.cache.count_state(PageState::Old) + e.cache.count_state(PageState::Delta);
+        let trigger = KddConfig::new(CacheGeometry { total_pages: 64, ways: 8, page_size: PS })
+            .clean_trigger_slots() as usize;
+        assert!(pinned <= trigger, "pinned pages unbounded: {pinned} > {trigger}");
+        assert!(e.stats().parity_updates > 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! The NVRAM delta staging buffer (§III-B/C).
+//!
+//! "When a write request hits on a clean page in DAZ, the page state will
+//! be changed to old and the delta is stored in a small staging buffer
+//! which is managed in a FIFO manner. When the buffer is full, multiple
+//! deltas are compacted into one page and committed to a DEZ page."
+//!
+//! Coalescing: "only the newest version of delta for one DAZ page is
+//! maintained in the staging buffer" — a rewrite replaces the buffered
+//! delta in place.
+//!
+//! The buffer is generic over the delta payload: the accounting simulator
+//! stages only sizes, the prototype engine stages real compressed bytes.
+
+use kdd_util::hash::FastMap;
+
+/// A payload with a known staged size.
+pub trait DeltaPayload {
+    /// Bytes this delta occupies in the staging buffer / DEZ page.
+    fn nbytes(&self) -> u32;
+}
+
+impl DeltaPayload for u32 {
+    fn nbytes(&self) -> u32 {
+        *self
+    }
+}
+
+impl DeltaPayload for Vec<u8> {
+    fn nbytes(&self) -> u32 {
+        self.len() as u32
+    }
+}
+
+/// FIFO staging buffer with per-key coalescing and a byte budget.
+#[derive(Debug, Clone)]
+pub struct StagingBuffer<P> {
+    capacity_bytes: u32,
+    used_bytes: u32,
+    /// FIFO of (key, payload); holes (None) left by coalescing/removal.
+    fifo: Vec<Option<(u64, P)>>,
+    index: FastMap<u64, usize>,
+}
+
+impl<P: DeltaPayload> StagingBuffer<P> {
+    /// A buffer holding up to `capacity_bytes` of compressed deltas
+    /// (one flash page in the paper).
+    pub fn new(capacity_bytes: u32) -> Self {
+        assert!(capacity_bytes > 0);
+        StagingBuffer {
+            capacity_bytes,
+            used_bytes: 0,
+            fifo: Vec::new(),
+            index: FastMap::default(),
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently staged.
+    pub fn used_bytes(&self) -> u32 {
+        self.used_bytes
+    }
+
+    /// Number of staged deltas.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether a delta for `key` is staged.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Staged payload for `key`.
+    pub fn get(&self, key: u64) -> Option<&P> {
+        let idx = *self.index.get(&key)?;
+        self.fifo[idx].as_ref().map(|(_, p)| p)
+    }
+
+    /// Whether `payload` would fit right now (after coalescing away any
+    /// existing delta for `key`).
+    pub fn fits(&self, key: u64, payload: &P) -> bool {
+        let freed = self.get(key).map_or(0, |p| p.nbytes());
+        self.used_bytes - freed + payload.nbytes() <= self.capacity_bytes
+    }
+
+    /// Stage a delta; a previous delta for the same key is replaced
+    /// (write coalescing).
+    ///
+    /// # Panics
+    /// Panics if the payload does not fit — callers must
+    /// [`StagingBuffer::fits`]-check and drain first, or the payload alone
+    /// exceeds the buffer.
+    pub fn insert(&mut self, key: u64, payload: P) {
+        assert!(
+            payload.nbytes() <= self.capacity_bytes,
+            "delta larger than the staging buffer"
+        );
+        self.remove(key);
+        assert!(
+            self.used_bytes + payload.nbytes() <= self.capacity_bytes,
+            "staging buffer overflow: drain before inserting"
+        );
+        self.used_bytes += payload.nbytes();
+        self.index.insert(key, self.fifo.len());
+        self.fifo.push(Some((key, payload)));
+    }
+
+    /// Drop the staged delta for `key` (invalidation), returning it.
+    pub fn remove(&mut self, key: u64) -> Option<P> {
+        let idx = self.index.remove(&key)?;
+        let (_, payload) = self.fifo[idx].take()?;
+        self.used_bytes -= payload.nbytes();
+        Some(payload)
+    }
+
+    /// Iterate the staged `(key, payload)` pairs in FIFO order without
+    /// draining (power-failure recovery reads the surviving NVRAM state).
+    pub fn snapshot(&self) -> impl Iterator<Item = (u64, &P)> + '_ {
+        self.fifo.iter().flatten().map(|(k, p)| (*k, p))
+    }
+
+    /// Drain every staged delta in FIFO order — the commit that packs them
+    /// into one DEZ page.
+    pub fn drain(&mut self) -> Vec<(u64, P)> {
+        let out: Vec<(u64, P)> = self.fifo.drain(..).flatten().collect();
+        self.index.clear();
+        self.used_bytes = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s: StagingBuffer<u32> = StagingBuffer::new(4096);
+        s.insert(1, 100);
+        s.insert(2, 200);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.used_bytes(), 300);
+        assert_eq!(s.get(1), Some(&100));
+        assert_eq!(s.remove(1), Some(100));
+        assert_eq!(s.used_bytes(), 200);
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn coalescing_replaces_in_place() {
+        let mut s: StagingBuffer<u32> = StagingBuffer::new(1000);
+        s.insert(7, 400);
+        s.insert(7, 600); // newer delta replaces
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used_bytes(), 600);
+        assert_eq!(s.get(7), Some(&600));
+    }
+
+    #[test]
+    fn fits_accounts_for_coalescing() {
+        let mut s: StagingBuffer<u32> = StagingBuffer::new(1000);
+        s.insert(1, 900);
+        assert!(!s.fits(2, &200));
+        assert!(s.fits(1, &1000), "replacing key 1 frees its 900 bytes");
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let mut s: StagingBuffer<u32> = StagingBuffer::new(4096);
+        s.insert(3, 10);
+        s.insert(1, 20);
+        s.insert(2, 30);
+        s.remove(1);
+        s.insert(4, 40);
+        let drained = s.drain();
+        let keys: Vec<u64> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 2, 4]);
+        assert!(s.is_empty());
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn real_byte_payloads() {
+        let mut s: StagingBuffer<Vec<u8>> = StagingBuffer::new(100);
+        s.insert(1, vec![0xAA; 60]);
+        assert!(!s.fits(2, &vec![0; 50]));
+        assert!(s.fits(2, &vec![0; 40]));
+        s.insert(2, vec![0xBB; 40]);
+        assert_eq!(s.used_bytes(), 100);
+        assert_eq!(s.get(1).unwrap().len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut s: StagingBuffer<u32> = StagingBuffer::new(100);
+        s.insert(1, 80);
+        s.insert(2, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the staging buffer")]
+    fn oversized_payload_panics() {
+        let mut s: StagingBuffer<u32> = StagingBuffer::new(100);
+        s.insert(1, 101);
+    }
+}

@@ -1,0 +1,41 @@
+//! DEZ fragmentation regression: under a hot Zipf write stream the
+//! pressure-driven compactor must keep the Delta Zone's footprint close
+//! to its live payload instead of letting mostly-dead pages pin cache
+//! slots.
+use kdd_cache::policies::{CachePolicy, RaidModel};
+use kdd_cache::setassoc::CacheGeometry;
+use kdd_core::{KddConfig, KddPolicy};
+use kdd_delta::model::FixedDeltaModel;
+use kdd_trace::record::Op;
+use kdd_util::rng::seeded_rng;
+use kdd_util::sampler::Zipf;
+
+#[test]
+fn dez_footprint_stays_bounded() {
+    let g = CacheGeometry { total_pages: 200, ways: 50, page_size: 4096 };
+    let mut p = KddPolicy::new(
+        KddConfig::new(g),
+        RaidModel::paper_default(100_000),
+        Box::new(FixedDeltaModel::new(0.5)),
+    );
+    let zipf = Zipf::new(966, 0.95);
+    let mut rng = seeded_rng(3);
+    for i in 0..20_000u64 {
+        let lba = zipf.sample(&mut rng) - 1;
+        let op = if i % 5 == 0 { Op::Read } else { Op::Write };
+        p.access(op, lba);
+        if i > 4000 && i % 1000 == 0 {
+            // At a fixed 50% ratio, perfectly packed DEZ pages hold two
+            // deltas; fragmentation must never exceed ~2x the ideal.
+            let ideal = p.old_pages().div_ceil(2);
+            assert!(
+                p.delta_pages() <= ideal * 2 + 4,
+                "i={i}: {} DEZ pages for {} old pages (ideal {ideal})",
+                p.delta_pages(),
+                p.old_pages()
+            );
+        }
+    }
+    assert!(p.stats().hit_ratio() > 0.25, "hit {}", p.stats().hit_ratio());
+    assert!(p.stats().cleanings > 0);
+}

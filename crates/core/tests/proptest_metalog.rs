@@ -1,0 +1,123 @@
+//! Model-based property tests: the circular metadata log against a plain
+//! `HashMap` reference, under arbitrary insert/tombstone interleavings
+//! and partition sizes.
+
+use kdd_core::metalog::{KeyEntry, LogEntry, MetaLog};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64),
+    Del(u64),
+    Flush,
+}
+
+fn ops(keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..keys).prop_map(Op::Put),
+        2 => (0..keys).prop_map(Op::Del),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// recover_live() always equals the reference map, regardless of how
+    /// GC shuffled entries between pages.
+    #[test]
+    fn log_matches_hashmap_model(
+        partition in 4u64..32,
+        epp in 1usize..8,
+        script in proptest::collection::vec(ops(24), 1..200),
+    ) {
+        // Keep the live set well under partition capacity to avoid the
+        // (detected) livelock regime.
+        let keys = ((partition * epp as u64) / 2).clamp(1, 24);
+        let mut log = MetaLog::new(partition, epp);
+        let mut model: HashMap<u64, bool> = HashMap::new();
+        for op in &script {
+            match op {
+                Op::Put(k) => {
+                    let k = k % keys;
+                    log.push(KeyEntry { key: k, tombstone: false });
+                    model.insert(k, true);
+                }
+                Op::Del(k) => {
+                    let k = k % keys;
+                    log.push(KeyEntry { key: k, tombstone: true });
+                    model.remove(&k);
+                }
+                Op::Flush => {
+                    log.flush();
+                }
+            }
+            prop_assert!(log.used_pages() <= log.partition_pages());
+        }
+        let mut live: Vec<u64> = log.recover_live().iter().map(|e| e.key()).collect();
+        live.sort_unstable();
+        let mut expect: Vec<u64> = model.keys().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(live, expect);
+    }
+
+    /// `latest_entry` always reflects the newest push for each key.
+    #[test]
+    fn latest_entry_is_newest(
+        script in proptest::collection::vec(ops(12), 1..120),
+    ) {
+        let mut log = MetaLog::new(16, 4);
+        let mut model: HashMap<u64, bool> = HashMap::new(); // key -> tombstoned?
+        for op in &script {
+            match op {
+                Op::Put(k) => {
+                    log.push(KeyEntry { key: *k, tombstone: false });
+                    model.insert(*k, false);
+                }
+                Op::Del(k) => {
+                    log.push(KeyEntry { key: *k, tombstone: true });
+                    model.insert(*k, true);
+                }
+                Op::Flush => {
+                    log.flush();
+                }
+            }
+        }
+        for (k, tombstoned) in model {
+            match log.latest_entry(k) {
+                Some(e) => prop_assert_eq!(e.tombstone, tombstoned, "key {}", k),
+                // A tombstone may have been GC-dropped entirely — that is
+                // equivalent to "no entry".
+                None => prop_assert!(tombstoned, "live key {} lost", k),
+            }
+        }
+    }
+
+    /// Counters are monotone and usage is bounded; commits land on
+    /// partition-relative slots.
+    #[test]
+    fn invariants_hold_under_churn(
+        partition in 2u64..16,
+        keys in 1u64..8,
+        n in 1usize..300,
+    ) {
+        let mut log = MetaLog::new(partition, 2);
+        let mut last_tail = 0;
+        for i in 0..n {
+            let k = (i as u64) % keys;
+            // Alternate put/delete so the live set stays tiny (no
+            // livelock even for 2-page partitions).
+            let tomb = i % 2 == 1;
+            for c in log.push(KeyEntry { key: k, tombstone: tomb }) {
+                prop_assert!(c.slot < partition);
+                prop_assert!(c.seq >= last_tail);
+                last_tail = c.seq;
+                prop_assert!(!c.entries.is_empty());
+            }
+            let (head, tail) = log.counters();
+            prop_assert!(head <= tail);
+            prop_assert!(tail - head <= partition);
+        }
+    }
+}

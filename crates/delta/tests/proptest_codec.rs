@@ -1,0 +1,73 @@
+//! Property tests: the delta codec must round-trip *anything*, and the
+//! XOR algebra must hold for arbitrary page pairs.
+
+use kdd_delta::codec::{compress, decompress};
+use kdd_delta::xor::{xor_into, xor_pages};
+use proptest::prelude::*;
+
+proptest! {
+    /// compress ∘ decompress == identity for arbitrary bytes.
+    #[test]
+    fn codec_roundtrips_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Compressed size is never more than input + 1 (the raw fallback).
+    #[test]
+    fn codec_never_expands_beyond_header(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert!(compress(&data).len() <= data.len() + 1);
+    }
+
+    /// Sparse data (mostly zeros) compresses substantially.
+    #[test]
+    fn sparse_data_compresses(
+        positions in proptest::collection::vec(0usize..4096, 0..100),
+        values in proptest::collection::vec(1u8..=255, 100),
+    ) {
+        let mut page = vec![0u8; 4096];
+        for (i, &pos) in positions.iter().enumerate() {
+            page[pos] = values[i % values.len()];
+        }
+        let c = compress(&page);
+        // ≤100 scattered non-zero bytes: must compress below 20% + slack.
+        prop_assert!(c.len() < 900, "sparse page compressed to {}", c.len());
+        prop_assert_eq!(decompress(&c).unwrap(), page);
+    }
+
+    /// XOR is an involution: (a ⊕ b) ⊕ b == a, and order does not matter.
+    #[test]
+    fn xor_algebra(
+        a in proptest::collection::vec(any::<u8>(), 1..2048),
+        b_seed in any::<u64>(),
+    ) {
+        let b: Vec<u8> = a.iter().enumerate()
+            .map(|(i, &x)| x ^ (b_seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
+            .collect();
+        let d1 = xor_pages(&a, &b);
+        let d2 = xor_pages(&b, &a);
+        prop_assert_eq!(&d1, &d2, "xor is symmetric");
+        let mut back = b.clone();
+        xor_into(&mut back, &d1);
+        prop_assert_eq!(back, a);
+    }
+
+    /// The full KDD data path: old ⊕ new → compress → decompress → apply
+    /// recovers new exactly, for arbitrary version pairs.
+    #[test]
+    fn delta_pipeline_recovers_new_version(
+        old in proptest::collection::vec(any::<u8>(), 512),
+        flips in proptest::collection::vec((0usize..512, any::<u8>()), 0..64),
+    ) {
+        let mut new = old.clone();
+        for (pos, val) in flips {
+            new[pos] = val;
+        }
+        let delta = xor_pages(&old, &new);
+        let stored = compress(&delta);
+        let recovered_delta = decompress(&stored).unwrap();
+        let mut rebuilt = old.clone();
+        xor_into(&mut rebuilt, &recovered_delta);
+        prop_assert_eq!(rebuilt, new);
+    }
+}

@@ -1,0 +1,1022 @@
+//! The RAID array: parity maintenance, degraded operation, rebuild, and
+//! the two extra interfaces KDD needs.
+//!
+//! Beyond a textbook RAID-0/5/6, this array implements the paper's §III-A
+//! additions:
+//!
+//! * [`RaidArray::write_no_parity_update`] — dispatch data to the member
+//!   disk *without* touching parity, marking the parity row stale;
+//! * [`RaidArray::parity_update_with_data`] — reconstruct-write repair:
+//!   the caller (KDD's cleaner) supplies every data page of the row from
+//!   cache, so the repair costs zero disk reads;
+//! * [`RaidArray::parity_update_rmw`] — read-modify-write repair: read the
+//!   stale parity and XOR it with the accumulated deltas (`P' = P ⊕ Δ`;
+//!   for Q, `Q' = Q ⊕ g^d·Δ_d`);
+//! * [`RaidArray::resync`] — full re-synchronisation from data disks, the
+//!   recovery path after an SSD-cache failure (§III-E2).
+//!
+//! Degraded reads on a *stale* row refuse to reconstruct
+//! ([`RaidError::StaleParity`]): that is precisely the window of
+//! vulnerability the paper says LeavO leaves open and KDD closes by
+//! updating parity before rebuild.
+
+use crate::gf256;
+use crate::layout::{Layout, RaidLevel};
+use kdd_blockdev::error::DevError;
+use kdd_blockdev::store::{MemStore, PageStore};
+use kdd_util::hash::FastSet;
+use kdd_delta::xor_into;
+use serde::{Deserialize, Serialize};
+
+/// Direction of one member-disk operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Disk read.
+    Read,
+    /// Disk write.
+    Write,
+}
+
+/// One physical I/O issued to a member disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskOp {
+    /// Member-disk index.
+    pub disk: usize,
+    /// Page offset on that disk.
+    pub disk_page: u64,
+    /// Read or write.
+    pub kind: IoKind,
+}
+
+/// The member-disk operations one array request generated — the input to
+/// the timing layer.
+#[derive(Debug, Clone, Default)]
+pub struct RaidCost {
+    /// Operations in issue order.
+    pub ops: Vec<DiskOp>,
+}
+
+impl RaidCost {
+    fn push(&mut self, disk: usize, disk_page: u64, kind: IoKind) {
+        self.ops.push(DiskOp { disk, disk_page, kind });
+    }
+
+    /// Number of member reads.
+    pub fn reads(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == IoKind::Read).count()
+    }
+
+    /// Number of member writes.
+    pub fn writes(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == IoKind::Write).count()
+    }
+
+    /// Merge another cost into this one.
+    pub fn merge(&mut self, other: RaidCost) {
+        self.ops.extend(other.ops);
+    }
+}
+
+/// Array-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaidError {
+    /// Underlying device error.
+    Dev(DevError),
+    /// More member failures than the level tolerates.
+    TooManyFailures,
+    /// A degraded read hit a row whose parity is stale — the paper's
+    /// window of vulnerability (data are unrecoverable until overwritten).
+    StaleParity {
+        /// The stale parity row.
+        row: u64,
+    },
+    /// Operation requires a live disk that is failed.
+    DiskFailed {
+        /// The failed member.
+        disk: usize,
+    },
+    /// Caller passed malformed arguments.
+    BadArg(&'static str),
+}
+
+impl From<DevError> for RaidError {
+    fn from(e: DevError) -> Self {
+        RaidError::Dev(e)
+    }
+}
+
+impl std::fmt::Display for RaidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaidError::Dev(e) => write!(f, "device error: {e}"),
+            RaidError::TooManyFailures => write!(f, "too many member failures"),
+            RaidError::StaleParity { row } => {
+                write!(f, "degraded read on stale parity row {row}: data loss window")
+            }
+            RaidError::DiskFailed { disk } => write!(f, "member disk {disk} is failed"),
+            RaidError::BadArg(s) => write!(f, "bad argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RaidError {}
+
+/// Per-disk I/O counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages written.
+    pub writes: u64,
+}
+
+/// A parity-protected disk array holding real page contents.
+///
+/// # Examples
+///
+/// The KDD write path: dispatch data without a parity update, then repair
+/// the stale row with the accumulated delta.
+///
+/// ```
+/// use kdd_raid::{Layout, RaidArray, RaidLevel};
+/// use kdd_delta::xor_pages;
+///
+/// let layout = Layout::new(RaidLevel::Raid5, 5, 4, 4 * 8);
+/// let mut array = RaidArray::new(layout, 512);
+///
+/// let v0 = vec![1u8; 512];
+/// let v1 = vec![2u8; 512];
+/// array.write_page(0, &v0).unwrap();                 // conventional small write
+/// array.write_no_parity_update(0, &v1).unwrap();     // KDD: one member write
+/// let row = array.layout().row_of(0);
+/// assert!(array.is_stale(row));
+///
+/// let delta = xor_pages(&v0, &v1);
+/// array.parity_update_rmw(row, &[(0, &delta)]).unwrap();
+/// assert!(array.verify_row(row).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RaidArray {
+    layout: Layout,
+    page_size: u32,
+    disks: Vec<MemStore>,
+    stale_rows: FastSet<u64>,
+    stats: Vec<DiskStats>,
+}
+
+impl RaidArray {
+    /// Build an array of `layout.disks` fresh member disks.
+    pub fn new(layout: Layout, page_size: u32) -> Self {
+        let disks = (0..layout.disks)
+            .map(|_| MemStore::new(layout.disk_pages, page_size))
+            .collect();
+        RaidArray {
+            layout,
+            page_size,
+            disks,
+            stale_rows: FastSet::default(),
+            stats: vec![DiskStats::default(); layout.disks],
+        }
+    }
+
+    /// The array geometry.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Logical capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.layout.capacity_pages()
+    }
+
+    /// Per-disk I/O counters.
+    pub fn stats(&self) -> &[DiskStats] {
+        &self.stats
+    }
+
+    /// Rows currently carrying stale parity.
+    pub fn stale_rows(&self) -> impl Iterator<Item = u64> + '_ {
+        self.stale_rows.iter().copied()
+    }
+
+    /// Number of stale parity rows.
+    pub fn stale_row_count(&self) -> usize {
+        self.stale_rows.len()
+    }
+
+    /// Whether `row` has stale parity.
+    pub fn is_stale(&self, row: u64) -> bool {
+        self.stale_rows.contains(&row)
+    }
+
+    /// Indexes of currently-failed members.
+    pub fn failed_disks(&self) -> Vec<usize> {
+        (0..self.disks.len()).filter(|&d| self.disks[d].is_failed()).collect()
+    }
+
+    fn check_failures(&self) -> Result<(), RaidError> {
+        let failed = self.failed_disks().len();
+        if failed > self.layout.level.parity_count() {
+            Err(RaidError::TooManyFailures)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---- raw member access with accounting -----------------------------
+
+    fn disk_read(&mut self, disk: usize, disk_page: u64, buf: &mut [u8], cost: &mut RaidCost) -> Result<(), RaidError> {
+        self.disks[disk].read_page(disk_page, buf)?;
+        self.stats[disk].reads += 1;
+        cost.push(disk, disk_page, IoKind::Read);
+        Ok(())
+    }
+
+    fn disk_write(&mut self, disk: usize, disk_page: u64, data: &[u8], cost: &mut RaidCost) -> Result<(), RaidError> {
+        self.disks[disk].write_page(disk_page, data)?;
+        self.stats[disk].writes += 1;
+        cost.push(disk, disk_page, IoKind::Write);
+        Ok(())
+    }
+
+    // ---- reads ----------------------------------------------------------
+
+    /// Read a logical page, reconstructing from redundancy if its member
+    /// disk is failed.
+    pub fn read_page(&mut self, lpn: u64, buf: &mut [u8]) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        let loc = self.layout.locate(lpn);
+        let mut cost = RaidCost::default();
+        if !self.disks[loc.disk].is_failed() {
+            self.disk_read(loc.disk, loc.disk_page, buf, &mut cost)?;
+            return Ok(cost);
+        }
+        // Degraded: reconstruct this page.
+        if self.layout.level == RaidLevel::Raid0 {
+            return Err(RaidError::TooManyFailures);
+        }
+        if self.is_stale(loc.row) {
+            return Err(RaidError::StaleParity { row: loc.row });
+        }
+        let failed = self.failed_disks();
+        let solved = self.solve_missing(loc.row, &failed, &mut cost)?;
+        let (_, content) = solved
+            .into_iter()
+            .find(|(m, _)| *m == RowMember::Data(loc.data_index))
+            .ok_or(RaidError::TooManyFailures)?;
+        buf.copy_from_slice(&content);
+        Ok(cost)
+    }
+
+    // ---- full-parity writes (the conventional path) ---------------------
+
+    /// Write a logical page with a full parity update (read-modify-write
+    /// or reconstruct-write, whichever needs fewer reads) — the paper's
+    /// "small write" the cache is trying to avoid.
+    pub fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        if data.len() != self.page_size as usize {
+            return Err(RaidError::BadArg("data must be one page"));
+        }
+        let loc = self.layout.locate(lpn);
+        let mut cost = RaidCost::default();
+
+        if self.layout.level == RaidLevel::Raid0 {
+            self.disk_write(loc.disk, loc.disk_page, data, &mut cost)?;
+            return Ok(cost);
+        }
+
+        let target_failed = self.disks[loc.disk].is_failed();
+        let others: Vec<usize> = (0..self.layout.data_disks()).filter(|&d| d != loc.data_index).collect();
+        let others_alive = others.iter().all(|&d| {
+            let disk = self.layout.data_disk(loc.stripe, d);
+            !self.disks[disk].is_failed()
+        });
+        let p_loc = self.layout.parity_location(loc.row);
+        let q_loc = self.layout.q_location(loc.row);
+        let p_alive = p_loc.is_some_and(|(d, _)| !self.disks[d].is_failed());
+        let q_alive = q_loc.is_some_and(|(d, _)| !self.disks[d].is_failed());
+
+        // RMW needs the target's old data and the old parity; reconstruct
+        // needs every *other* data page. Pick what is possible, then what
+        // is cheaper (fewer reads).
+        let rmw_possible = !target_failed && !self.is_stale(loc.row) && (p_alive || q_loc.is_none());
+        let recon_possible = others_alive;
+        let rmw_reads = 1 + p_alive as usize + q_alive as usize;
+        let recon_reads = others.len();
+
+        let use_rmw = match (rmw_possible, recon_possible) {
+            (true, true) => rmw_reads <= recon_reads,
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => return Err(RaidError::TooManyFailures),
+        };
+
+        let ps = self.page_size as usize;
+        if use_rmw {
+            let mut old = vec![0u8; ps];
+            self.disk_read(loc.disk, loc.disk_page, &mut old, &mut cost)?;
+            // delta = old ^ new
+            let mut delta = old;
+            xor_into(&mut delta, data);
+            if let (Some((pd, pp)), true) = (p_loc, p_alive) {
+                let mut parity = vec![0u8; ps];
+                self.disk_read(pd, pp, &mut parity, &mut cost)?;
+                xor_into(&mut parity, &delta);
+                self.disk_write(pd, pp, &parity, &mut cost)?;
+            }
+            if let (Some((qd, qp)), true) = (q_loc, q_alive) {
+                let mut q = vec![0u8; ps];
+                self.disk_read(qd, qp, &mut q, &mut cost)?;
+                gf256::mul_slice_into(&mut q, &delta, gf256::pow_g(loc.data_index));
+                self.disk_write(qd, qp, &q, &mut cost)?;
+            }
+        } else {
+            // Reconstruct-write: gather all other data, fold in new data.
+            let mut p = data.to_vec();
+            let mut q = vec![0u8; ps];
+            if q_loc.is_some() {
+                gf256::mul_slice_into(&mut q, data, gf256::pow_g(loc.data_index));
+            }
+            let mut buf = vec![0u8; ps];
+            for &d in &others {
+                let disk = self.layout.data_disk(loc.stripe, d);
+                let dp = loc.disk_page; // same offset across the row
+                self.disk_read(disk, dp, &mut buf, &mut cost)?;
+                xor_into(&mut p, &buf);
+                if q_loc.is_some() {
+                    gf256::mul_slice_into(&mut q, &buf, gf256::pow_g(d));
+                }
+            }
+            if let Some((pd, pp)) = p_loc {
+                if !self.disks[pd].is_failed() {
+                    self.disk_write(pd, pp, &p, &mut cost)?;
+                }
+            }
+            if let Some((qd, qp)) = q_loc {
+                if !self.disks[qd].is_failed() {
+                    self.disk_write(qd, qp, &q, &mut cost)?;
+                }
+            }
+        }
+
+        if !target_failed {
+            self.disk_write(loc.disk, loc.disk_page, data, &mut cost)?;
+        }
+        // A full-parity write repairs staleness for this row only if it
+        // was not stale; if the row *was* stale the parity is still wrong
+        // for the other members, so keep the mark (reconstruct-write
+        // clears it because it recomputes from all members).
+        if !use_rmw {
+            self.stale_rows.remove(&loc.row);
+        }
+        Ok(cost)
+    }
+
+    // ---- KDD interfaces --------------------------------------------------
+
+    /// Write data *without* updating parity (§III-A): one member write;
+    /// the row is marked stale until a `parity_update` repairs it.
+    pub fn write_no_parity_update(&mut self, lpn: u64, data: &[u8]) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        if data.len() != self.page_size as usize {
+            return Err(RaidError::BadArg("data must be one page"));
+        }
+        let loc = self.layout.locate(lpn);
+        if self.disks[loc.disk].is_failed() {
+            return Err(RaidError::DiskFailed { disk: loc.disk });
+        }
+        let mut cost = RaidCost::default();
+        self.disk_write(loc.disk, loc.disk_page, data, &mut cost)?;
+        if self.layout.level != RaidLevel::Raid0 {
+            self.stale_rows.insert(loc.row);
+        }
+        Ok(cost)
+    }
+
+    /// Repair a stale row by reconstruct-write: the caller supplies every
+    /// data page of the row (KDD has them all in cache), so no member
+    /// reads are needed — only the parity write(s).
+    pub fn parity_update_with_data(&mut self, row: u64, data: &[&[u8]]) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        if data.len() != self.layout.row_width() {
+            return Err(RaidError::BadArg("need every data page of the row"));
+        }
+        let ps = self.page_size as usize;
+        if data.iter().any(|d| d.len() != ps) {
+            return Err(RaidError::BadArg("data pages must be page-sized"));
+        }
+        let mut cost = RaidCost::default();
+        let mut p = vec![0u8; ps];
+        for d in data {
+            xor_into(&mut p, d);
+        }
+        if let Some((pd, pp)) = self.layout.parity_location(row) {
+            if !self.disks[pd].is_failed() {
+                self.disk_write(pd, pp, &p, &mut cost)?;
+            }
+        }
+        if let Some((qd, qp)) = self.layout.q_location(row) {
+            if !self.disks[qd].is_failed() {
+                let mut q = vec![0u8; ps];
+                for (d, page) in data.iter().enumerate() {
+                    gf256::mul_slice_into(&mut q, page, gf256::pow_g(d));
+                }
+                self.disk_write(qd, qp, &q, &mut cost)?;
+            }
+        }
+        self.stale_rows.remove(&row);
+        Ok(cost)
+    }
+
+    /// Repair a stale row by read-modify-write: read the stale parity and
+    /// fold in the accumulated per-member deltas (each delta is the XOR of
+    /// the member's pre-stale content with its current content).
+    pub fn parity_update_rmw(&mut self, row: u64, deltas: &[(usize, &[u8])]) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        let ps = self.page_size as usize;
+        if deltas.iter().any(|(d, buf)| *d >= self.layout.row_width() || buf.len() != ps) {
+            return Err(RaidError::BadArg("delta index or size out of range"));
+        }
+        let mut cost = RaidCost::default();
+        if let Some((pd, pp)) = self.layout.parity_location(row) {
+            if self.disks[pd].is_failed() {
+                return Err(RaidError::DiskFailed { disk: pd });
+            }
+            let mut p = vec![0u8; ps];
+            self.disk_read(pd, pp, &mut p, &mut cost)?;
+            for (_, delta) in deltas {
+                xor_into(&mut p, delta);
+            }
+            self.disk_write(pd, pp, &p, &mut cost)?;
+        }
+        if let Some((qd, qp)) = self.layout.q_location(row) {
+            if self.disks[qd].is_failed() {
+                return Err(RaidError::DiskFailed { disk: qd });
+            }
+            let mut q = vec![0u8; ps];
+            self.disk_read(qd, qp, &mut q, &mut cost)?;
+            for (d, delta) in deltas {
+                gf256::mul_slice_into(&mut q, delta, gf256::pow_g(*d));
+            }
+            self.disk_write(qd, qp, &q, &mut cost)?;
+        }
+        self.stale_rows.remove(&row);
+        Ok(cost)
+    }
+
+    /// Re-synchronise rows by reading the data members and recomputing
+    /// parity — the recovery path after losing the SSD cache (§III-E2).
+    /// With `rows = None` every stale row is repaired.
+    pub fn resync(&mut self, rows: Option<&[u64]>) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        let targets: Vec<u64> = match rows {
+            Some(r) => r.to_vec(),
+            None => self.stale_rows.iter().copied().collect(),
+        };
+        let ps = self.page_size as usize;
+        let mut cost = RaidCost::default();
+        for row in targets {
+            let lpns = self.layout.row_lpns(row);
+            let mut pages = Vec::with_capacity(lpns.len());
+            for &lpn in &lpns {
+                let loc = self.layout.locate(lpn);
+                if self.disks[loc.disk].is_failed() {
+                    return Err(RaidError::DiskFailed { disk: loc.disk });
+                }
+                let mut buf = vec![0u8; ps];
+                self.disk_read(loc.disk, loc.disk_page, &mut buf, &mut cost)?;
+                pages.push(buf);
+            }
+            let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+            let sub = self.parity_update_with_data(row, &refs)?;
+            cost.merge(sub);
+        }
+        Ok(cost)
+    }
+
+    // ---- failure handling ------------------------------------------------
+
+    /// Fail a member disk (fault injection).
+    pub fn fail_disk(&mut self, disk: usize) {
+        self.disks[disk].fail();
+    }
+
+    /// Rebuild every failed member onto a fresh replacement.
+    ///
+    /// Requires no stale rows: KDD's failure handling updates all parity
+    /// *before* triggering rebuild (§III-E2). Errors with
+    /// [`RaidError::StaleParity`] otherwise.
+    pub fn rebuild(&mut self) -> Result<RaidCost, RaidError> {
+        self.check_failures()?;
+        if let Some(&row) = self.stale_rows.iter().next() {
+            return Err(RaidError::StaleParity { row });
+        }
+        let failed = self.failed_disks();
+        if failed.is_empty() {
+            return Ok(RaidCost::default());
+        }
+        for &d in &failed {
+            self.disks[d].replace();
+        }
+        let mut cost = RaidCost::default();
+        // Reconstruct row by row; the replacement disks are zero-filled so
+        // we re-derive their content from the survivors.
+        for row in 0..self.layout.rows() {
+            let solved = self.solve_missing(row, &failed, &mut cost)?;
+            let stripe = self.layout.stripe_of_row(row);
+            let dp = self.row_disk_page(row);
+            for (member, content) in solved {
+                let disk = match member {
+                    RowMember::Data(d) => self.layout.data_disk(stripe, d),
+                    RowMember::P => self.layout.parity_disk(stripe).unwrap(),
+                    RowMember::Q => self.layout.q_disk(stripe).unwrap(),
+                };
+                self.disk_write(disk, dp, &content, &mut cost)?;
+            }
+        }
+        Ok(cost)
+    }
+
+    fn row_disk_page(&self, row: u64) -> u64 {
+        let stripe = self.layout.stripe_of_row(row);
+        stripe * self.layout.chunk_pages + row % self.layout.chunk_pages
+    }
+
+    // ---- reconstruction core ----------------------------------------------
+
+    /// Solve for the contents of every row member whose disk is in
+    /// `excluded`, reading only surviving members. Handles every single-
+    /// and double-erasure case RAID-6 tolerates.
+    fn solve_missing(
+        &mut self,
+        row: u64,
+        excluded: &[usize],
+        cost: &mut RaidCost,
+    ) -> Result<Vec<(RowMember, Vec<u8>)>, RaidError> {
+        let ps = self.page_size as usize;
+        let stripe = self.layout.stripe_of_row(row);
+        let dp = self.row_disk_page(row);
+        let dd = self.layout.data_disks();
+        let is_excluded = |disk: usize| excluded.contains(&disk);
+
+        let missing_data: Vec<usize> = (0..dd)
+            .filter(|&d| is_excluded(self.layout.data_disk(stripe, d)))
+            .collect();
+        let p_disk = self.layout.parity_disk(stripe);
+        let q_disk = self.layout.q_disk(stripe);
+        let p_missing = p_disk.is_some_and(is_excluded);
+        let q_missing = q_disk.is_some_and(is_excluded);
+        if missing_data.is_empty() && !p_missing && !q_missing {
+            return Ok(Vec::new());
+        }
+
+        // Read every surviving data member once.
+        let mut data: Vec<Option<Vec<u8>>> = vec![None; dd];
+        for d in 0..dd {
+            if !missing_data.contains(&d) {
+                let disk = self.layout.data_disk(stripe, d);
+                let mut buf = vec![0u8; ps];
+                self.disk_read(disk, dp, &mut buf, cost)?;
+                data[d] = Some(buf);
+            }
+        }
+        let read_parity = |this: &mut Self, loc: Option<(usize, u64)>, cost: &mut RaidCost| -> Result<Vec<u8>, RaidError> {
+            let (pd, pp) = loc.ok_or(RaidError::TooManyFailures)?;
+            let mut buf = vec![0u8; ps];
+            this.disk_read(pd, pp, &mut buf, cost)?;
+            Ok(buf)
+        };
+
+        // Recover missing data members first.
+        match missing_data.len() {
+            0 => {}
+            1 => {
+                let x = missing_data[0];
+                if !p_missing && p_disk.is_some() {
+                    // D_x = P ⊕ Σ_{d≠x} D_d
+                    let mut out = read_parity(self, self.layout.parity_location(row), cost)?;
+                    for d in (0..dd).filter(|&d| d != x) {
+                        xor_into(&mut out, data[d].as_ref().unwrap());
+                    }
+                    data[x] = Some(out);
+                } else if !q_missing && q_disk.is_some() {
+                    // D_x = (Q ⊕ Σ_{d≠x} g^d·D_d) / g^x
+                    let mut acc = read_parity(self, self.layout.q_location(row), cost)?;
+                    for d in (0..dd).filter(|&d| d != x) {
+                        gf256::mul_slice_into(&mut acc, data[d].as_ref().unwrap(), gf256::pow_g(d));
+                    }
+                    let mut out = vec![0u8; ps];
+                    gf256::mul_slice_into(&mut out, &acc, gf256::inv(gf256::pow_g(x)));
+                    data[x] = Some(out);
+                } else {
+                    return Err(RaidError::TooManyFailures);
+                }
+            }
+            2 => {
+                if p_missing || q_missing {
+                    return Err(RaidError::TooManyFailures);
+                }
+                let (x, y) = (missing_data[0], missing_data[1]);
+                // a = P ⊕ Σ survivors = D_x ⊕ D_y
+                // b = Q ⊕ Σ g^d survivors = g^x·D_x ⊕ g^y·D_y
+                let mut a = read_parity(self, self.layout.parity_location(row), cost)?;
+                let mut b = read_parity(self, self.layout.q_location(row), cost)?;
+                for d in (0..dd).filter(|&d| d != x && d != y) {
+                    let page = data[d].as_ref().unwrap();
+                    xor_into(&mut a, page);
+                    gf256::mul_slice_into(&mut b, page, gf256::pow_g(d));
+                }
+                // D_x = (b ⊕ g^y·a) / (g^x ⊕ g^y); D_y = a ⊕ D_x
+                let gx = gf256::pow_g(x);
+                let gy = gf256::pow_g(y);
+                let mut num = b;
+                gf256::mul_slice_into(&mut num, &a, gy);
+                let mut dx = vec![0u8; ps];
+                gf256::mul_slice_into(&mut dx, &num, gf256::inv(gx ^ gy));
+                let mut dy = a;
+                xor_into(&mut dy, &dx);
+                data[x] = Some(dx);
+                data[y] = Some(dy);
+            }
+            _ => return Err(RaidError::TooManyFailures),
+        }
+
+        // With all data known, recompute any missing parity.
+        let mut out = Vec::new();
+        for d in missing_data {
+            out.push((RowMember::Data(d), data[d].clone().unwrap()));
+        }
+        if p_missing {
+            let mut p = vec![0u8; ps];
+            for page in data.iter().flatten() {
+                xor_into(&mut p, page);
+            }
+            out.push((RowMember::P, p));
+        }
+        if q_missing {
+            let mut q = vec![0u8; ps];
+            for (d, page) in data.iter().enumerate() {
+                gf256::mul_slice_into(&mut q, page.as_ref().unwrap(), gf256::pow_g(d));
+            }
+            out.push((RowMember::Q, q));
+        }
+        Ok(out)
+    }
+
+    /// Verify parity consistency of one row (tests/diagnostics). Stale
+    /// rows are expected to fail verification.
+    pub fn verify_row(&mut self, row: u64) -> Result<bool, RaidError> {
+        let ps = self.page_size as usize;
+        let lpns = self.layout.row_lpns(row);
+        let mut p = vec![0u8; ps];
+        let mut q = vec![0u8; ps];
+        let mut buf = vec![0u8; ps];
+        let mut cost = RaidCost::default();
+        for (d, &lpn) in lpns.iter().enumerate() {
+            let loc = self.layout.locate(lpn);
+            self.disk_read(loc.disk, loc.disk_page, &mut buf, &mut cost)?;
+            xor_into(&mut p, &buf);
+            gf256::mul_slice_into(&mut q, &buf, gf256::pow_g(d));
+        }
+        if let Some((pd, pp)) = self.layout.parity_location(row) {
+            self.disk_read(pd, pp, &mut buf, &mut cost)?;
+            if buf != p {
+                return Ok(false);
+            }
+        }
+        if let Some((qd, qp)) = self.layout.q_location(row) {
+            self.disk_read(qd, qp, &mut buf, &mut cost)?;
+            if buf != q {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Identifies one member of a parity row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowMember {
+    Data(usize),
+    P,
+    Q,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(tag: u8, ps: usize) -> Vec<u8> {
+        (0..ps).map(|i| tag ^ (i as u8).wrapping_mul(31)).collect()
+    }
+
+    fn r5() -> RaidArray {
+        RaidArray::new(Layout::new(RaidLevel::Raid5, 5, 4, 4 * 8), 256)
+    }
+
+    fn r6() -> RaidArray {
+        RaidArray::new(Layout::new(RaidLevel::Raid6, 6, 4, 4 * 8), 256)
+    }
+
+    #[test]
+    fn write_read_roundtrip_r5() {
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..a.capacity_pages() {
+            a.read_page(lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(lpn as u8, ps), "lpn {lpn}");
+        }
+        for row in 0..a.layout().rows() {
+            assert!(a.verify_row(row).unwrap(), "row {row} parity broken");
+        }
+    }
+
+    #[test]
+    fn small_write_costs_four_ios_r5() {
+        let mut a = r5();
+        let ps = 256;
+        a.write_page(0, &page(1, ps)).unwrap();
+        // Second write to the same page: genuine small write.
+        let cost = a.write_page(0, &page(2, ps)).unwrap();
+        // RMW on 5-disk RAID5: read old data + old parity, write data +
+        // parity — but reconstruct (3 reads) may win only for 3 disks, so
+        // here expect exactly 2+2.
+        assert_eq!(cost.reads(), 2, "ops: {:?}", cost.ops);
+        assert_eq!(cost.writes(), 2);
+    }
+
+    #[test]
+    fn small_write_costs_six_ios_r6() {
+        let mut a = r6();
+        let ps = 256;
+        a.write_page(0, &page(1, ps)).unwrap();
+        let cost = a.write_page(0, &page(2, ps)).unwrap();
+        assert_eq!(cost.reads(), 3);
+        assert_eq!(cost.writes(), 3);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_r5() {
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        a.fail_disk(2);
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..a.capacity_pages() {
+            a.read_page(lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(lpn as u8, ps), "degraded lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn degraded_read_all_double_failures_r6() {
+        let ps = 256;
+        for f1 in 0..6 {
+            for f2 in (f1 + 1)..6 {
+                let mut a = r6();
+                for lpn in 0..a.capacity_pages() {
+                    a.write_page(lpn, &page((lpn as u8).wrapping_add(7), ps)).unwrap();
+                }
+                a.fail_disk(f1);
+                a.fail_disk(f2);
+                let mut buf = vec![0u8; ps];
+                for lpn in 0..a.capacity_pages() {
+                    a.read_page(lpn, &mut buf)
+                        .unwrap_or_else(|e| panic!("fail {f1},{f2} lpn {lpn}: {e}"));
+                    assert_eq!(buf, page((lpn as u8).wrapping_add(7), ps), "fail {f1},{f2} lpn {lpn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raid5_two_failures_rejected() {
+        let mut a = r5();
+        a.fail_disk(0);
+        a.fail_disk(1);
+        let mut buf = vec![0u8; 256];
+        assert_eq!(a.read_page(0, &mut buf).unwrap_err(), RaidError::TooManyFailures);
+    }
+
+    #[test]
+    fn write_no_parity_update_marks_stale() {
+        let mut a = r5();
+        let ps = 256;
+        a.write_page(0, &page(1, ps)).unwrap();
+        let row = a.layout().row_of(0);
+        assert!(a.verify_row(row).unwrap());
+        let cost = a.write_no_parity_update(0, &page(2, ps)).unwrap();
+        assert_eq!(cost.reads(), 0);
+        assert_eq!(cost.writes(), 1, "exactly one member write");
+        assert!(a.is_stale(row));
+        assert!(!a.verify_row(row).unwrap(), "parity must now be stale");
+        // Data itself is current.
+        let mut buf = vec![0u8; ps];
+        a.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, page(2, ps));
+    }
+
+    #[test]
+    fn parity_update_with_data_repairs() {
+        let mut a = r5();
+        let ps = 256;
+        let row = a.layout().row_of(0);
+        let lpns = a.layout().row_lpns(row);
+        for (i, &lpn) in lpns.iter().enumerate() {
+            a.write_page(lpn, &page(i as u8, ps)).unwrap();
+        }
+        a.write_no_parity_update(lpns[1], &page(0xEE, ps)).unwrap();
+        assert!(a.is_stale(row));
+        // Cleaner supplies all four data pages (as KDD's cache would).
+        let d0 = page(0, ps);
+        let d1 = page(0xEE, ps);
+        let d2 = page(2, ps);
+        let d3 = page(3, ps);
+        let cost = a
+            .parity_update_with_data(row, &[&d0, &d1, &d2, &d3])
+            .unwrap();
+        assert_eq!(cost.reads(), 0, "reconstruct-write repair reads nothing");
+        assert_eq!(cost.writes(), 1);
+        assert!(!a.is_stale(row));
+        assert!(a.verify_row(row).unwrap());
+    }
+
+    #[test]
+    fn parity_update_rmw_repairs() {
+        let mut a = r5();
+        let ps = 256;
+        let row = a.layout().row_of(0);
+        let lpns = a.layout().row_lpns(row);
+        for (i, &lpn) in lpns.iter().enumerate() {
+            a.write_page(lpn, &page(i as u8, ps)).unwrap();
+        }
+        let old = page(1, ps);
+        let new = page(0x5A, ps);
+        a.write_no_parity_update(lpns[1], &new).unwrap();
+        let mut delta = old.clone();
+        xor_into(&mut delta, &new);
+        let cost = a.parity_update_rmw(row, &[(1, &delta)]).unwrap();
+        assert_eq!(cost.reads(), 1, "RMW repair reads only parity");
+        assert_eq!(cost.writes(), 1);
+        assert!(a.verify_row(row).unwrap());
+    }
+
+    #[test]
+    fn parity_update_rmw_repairs_q_too() {
+        let mut a = r6();
+        let ps = 256;
+        let row = a.layout().row_of(0);
+        let lpns = a.layout().row_lpns(row);
+        for (i, &lpn) in lpns.iter().enumerate() {
+            a.write_page(lpn, &page(i as u8, ps)).unwrap();
+        }
+        let old = page(2, ps);
+        let new = page(0x77, ps);
+        a.write_no_parity_update(lpns[2], &new).unwrap();
+        let mut delta = old.clone();
+        xor_into(&mut delta, &new);
+        a.parity_update_rmw(row, &[(2, &delta)]).unwrap();
+        assert!(a.verify_row(row).unwrap(), "P and Q must both be repaired");
+    }
+
+    #[test]
+    fn resync_repairs_all_stale_rows() {
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        for lpn in [0u64, 5, 9, 20] {
+            a.write_no_parity_update(lpn, &page(0xAB, ps)).unwrap();
+        }
+        assert!(a.stale_row_count() > 0);
+        a.resync(None).unwrap();
+        assert_eq!(a.stale_row_count(), 0);
+        for row in 0..a.layout().rows() {
+            assert!(a.verify_row(row).unwrap(), "row {row}");
+        }
+    }
+
+    #[test]
+    fn degraded_read_on_stale_row_is_data_loss_window() {
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..8 {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        a.write_no_parity_update(0, &page(0xCC, ps)).unwrap();
+        let row = a.layout().row_of(0);
+        // Fail a *different* disk in the same row: reconstruction would
+        // use the stale parity and return garbage — the array refuses.
+        let victim_lpn = a.layout().row_lpns(row)[1];
+        let victim_disk = a.layout().locate(victim_lpn).disk;
+        a.fail_disk(victim_disk);
+        let mut buf = vec![0u8; ps];
+        assert_eq!(
+            a.read_page(victim_lpn, &mut buf).unwrap_err(),
+            RaidError::StaleParity { row }
+        );
+    }
+
+    #[test]
+    fn rebuild_requires_clean_parity_then_restores() {
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        a.write_no_parity_update(3, &page(0xDD, ps)).unwrap();
+        a.fail_disk(1);
+        assert!(matches!(a.rebuild(), Err(RaidError::StaleParity { .. })));
+        // KDD's §III-E2 sequence: parity_update first, then rebuild.
+        let row = a.layout().row_of(3);
+        let lpns = a.layout().row_lpns(row);
+        let datas: Vec<Vec<u8>> = lpns
+            .iter()
+            .map(|&l| if l == 3 { page(0xDD, ps) } else { page(l as u8, ps) })
+            .collect();
+        let refs: Vec<&[u8]> = datas.iter().map(|d| d.as_slice()).collect();
+        a.parity_update_with_data(row, &refs).unwrap();
+        a.rebuild().unwrap();
+        assert!(a.failed_disks().is_empty());
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..a.capacity_pages() {
+            a.read_page(lpn, &mut buf).unwrap();
+            let expect = if lpn == 3 { page(0xDD, ps) } else { page(lpn as u8, ps) };
+            assert_eq!(buf, expect, "lpn {lpn} after rebuild");
+        }
+        for row in 0..a.layout().rows() {
+            assert!(a.verify_row(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn rebuild_r6_after_double_failure() {
+        let mut a = r6();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8 ^ 0x3C, ps)).unwrap();
+        }
+        a.fail_disk(0);
+        a.fail_disk(3);
+        a.rebuild().unwrap();
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..a.capacity_pages() {
+            a.read_page(lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(lpn as u8 ^ 0x3C, ps));
+        }
+        for row in 0..a.layout().rows() {
+            assert!(a.verify_row(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn raid0_has_no_parity_overhead() {
+        let mut a = RaidArray::new(Layout::new(RaidLevel::Raid0, 4, 4, 16), 256);
+        let cost = a.write_page(0, &page(1, 256)).unwrap();
+        assert_eq!(cost.reads(), 0);
+        assert_eq!(cost.writes(), 1);
+        assert_eq!(a.stale_row_count(), 0);
+    }
+
+    #[test]
+    fn degraded_write_target_failed_updates_parity() {
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        let loc = a.layout().locate(7);
+        a.fail_disk(loc.disk);
+        // Write to the failed member: parity must absorb the new data.
+        a.write_page(7, &page(0x99, ps)).unwrap();
+        let mut buf = vec![0u8; ps];
+        a.read_page(7, &mut buf).unwrap(); // degraded read
+        assert_eq!(buf, page(0x99, ps));
+        // And after rebuild the data is physically there.
+        a.rebuild().unwrap();
+        a.read_page(7, &mut buf).unwrap();
+        assert_eq!(buf, page(0x99, ps));
+    }
+
+    #[test]
+    fn stats_account_member_ios() {
+        let mut a = r5();
+        let before: u64 = a.stats().iter().map(|s| s.writes).sum();
+        a.write_page(0, &page(1, 256)).unwrap();
+        let after: u64 = a.stats().iter().map(|s| s.writes).sum();
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,181 @@
+//! GF(2^8) arithmetic for RAID-6 Q parity.
+//!
+//! RAID-6 computes `Q = Σ g^i · D_i` over the Galois field GF(2^8) with
+//! the standard polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11D) and
+//! generator `g = 2` — the same field as the Linux kernel raid6 engine.
+//! Log/exp tables make multiplication a pair of lookups; bulk page
+//! operations use [`mul_slice_into`].
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0x11D;
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u32 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate so mul can skip the mod-255 on index sums.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Multiply two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+/// Panics on zero (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no inverse in GF(2^8)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Divide `a` by `b`.
+///
+/// # Panics
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `g^k` for the generator g = 2.
+#[inline]
+pub fn pow_g(k: usize) -> u8 {
+    tables().exp[k % 255]
+}
+
+/// `dst[i] ^= c · src[i]` — the bulk Q-parity kernel.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn mul_slice_into(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_sampled() {
+        for a in [1u8, 2, 3, 0x53, 0xCA, 0xFF] {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, inv(a)), 1, "a * a^-1 for {a:#x}");
+            assert_eq!(div(a, a), 1);
+        }
+        assert_eq!(mul(0, 0x37), 0);
+        assert_eq!(mul(0x37, 0), 0);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let vals = [0u8, 1, 2, 7, 0x80, 0x1D, 0xFE];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &vals {
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributes_over_xor() {
+        let vals = [1u8, 2, 9, 0x53, 0xAA];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g = 2 must generate all 255 non-zero elements.
+        let mut seen = [false; 256];
+        for k in 0..255 {
+            let v = pow_g(k);
+            assert!(!seen[v as usize], "g^{k} repeats");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+        assert_eq!(pow_g(0), 1);
+        assert_eq!(pow_g(255), 1); // wraps
+    }
+
+    #[test]
+    fn known_products_match_kernel_field() {
+        // Spot values for the 0x11D field.
+        assert_eq!(mul(2, 0x80), 0x1D);
+        assert_eq!(mul(2, 2), 4);
+        assert_eq!(pow_g(8), 0x1D);
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = vec![0xA5u8; 256];
+            let mut expect = dst.clone();
+            mul_slice_into(&mut dst, &src, c);
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            assert_eq!(dst, expect, "c = {c:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        inv(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Closed-loop FIO-style load — the Figures 10/11 experiment.
+//!
+//! "In closed-loop model, requests are generated back to back with a
+//! limited request queue (i.e. equal to the number of request threads)"
+//! (§IV-B1). N virtual threads each keep exactly one request outstanding;
+//! a thread's next request is issued the instant its previous one
+//! completes. Disk rounds contend on the shared member-disk center, which
+//! is what pushes latencies to the ~100 ms the paper tunes for.
+
+use crate::queue::MultiServer;
+use crate::service::ServiceModel;
+use kdd_cache::policies::CachePolicy;
+use kdd_cache::stats::CacheStats;
+use kdd_trace::fio::FioWorkload;
+use kdd_util::stats::{Histogram, StreamingStats};
+use kdd_util::units::{ByteSize, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Results of one closed-loop run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosedLoopReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Requests completed.
+    pub requests: u64,
+    /// Mean response time (the Figure 10 metric).
+    pub mean_response: SimTime,
+    /// 99th percentile response time.
+    pub p99: SimTime,
+    /// Total virtual run time.
+    pub makespan: SimTime,
+    /// SSD bytes written (the Figure 11 metric).
+    pub ssd_write_bytes: ByteSize,
+    /// Cache hit ratio.
+    pub hit_ratio: f64,
+    /// Final cache statistics.
+    pub stats: CacheStats,
+}
+
+/// Run the FIO-style closed loop: `workload.config().threads` virtual
+/// threads, one outstanding request each, until the volume target is met.
+pub fn run_closed_loop(
+    policy: &mut dyn CachePolicy,
+    workload: &mut FioWorkload,
+    model: &ServiceModel,
+    disks: usize,
+) -> ClosedLoopReport {
+    let threads = workload.config().threads.max(1);
+    let page_size = 4096u32;
+    let mut raid = MultiServer::new(disks);
+    let mut stats = StreamingStats::new();
+    let mut hist = Histogram::new();
+    // Each heap entry: the time a thread becomes ready to issue.
+    let mut ready: BinaryHeap<Reverse<SimTime>> =
+        (0..threads).map(|_| Reverse(SimTime::ZERO)).collect();
+    let mut makespan = SimTime::ZERO;
+    while let Some(Reverse(now)) = ready.pop() {
+        let Some((op, lba)) = workload.next_request() else {
+            makespan = makespan.max(now);
+            continue; // thread retires
+        };
+        let outcome = policy.access(op, lba);
+        let fx = outcome.foreground;
+        let ssd_cpu = model.response_time(&kdd_cache::effects::Effects {
+            raid_rounds: 0,
+            raid_reads: 0,
+            raid_writes: 0,
+            ..fx
+        });
+        let done = if fx.raid_rounds > 0 {
+            raid.serve_rounds(now, model.hdd_op, fx.raid_rounds) + ssd_cpu
+        } else {
+            now + ssd_cpu
+        };
+        let resp = done - now;
+        stats.record(resp.as_nanos() as f64);
+        hist.record(resp.as_nanos());
+        makespan = makespan.max(done);
+        ready.push(Reverse(done));
+    }
+    policy.flush();
+    ClosedLoopReport {
+        policy: policy.name(),
+        requests: stats.count(),
+        mean_response: SimTime::from_nanos(stats.mean() as u64),
+        p99: SimTime::from_nanos(hist.quantile(0.99).unwrap_or(0)),
+        makespan,
+        ssd_write_bytes: policy.stats().ssd_write_bytes(page_size),
+        hit_ratio: policy.stats().hit_ratio(),
+        stats: *policy.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build_policy, PolicyKind};
+    use kdd_cache::policies::RaidModel;
+    use kdd_cache::setassoc::CacheGeometry;
+    use kdd_trace::fio::FioConfig;
+
+    fn run(kind: PolicyKind, read_rate: f64, scale: u64) -> ClosedLoopReport {
+        let cfg = FioConfig::paper(read_rate).scaled(scale);
+        // Cache smaller than the working set, like the paper (1 GB cache,
+        // 1.6 GB WSS): cache = WSS * 0.625.
+        let cache_pages = (cfg.wss_pages * 5 / 8).max(64);
+        let g = CacheGeometry {
+            total_pages: cache_pages,
+            ways: 64.min(cache_pages as u32),
+            page_size: 4096,
+        };
+        let raid = RaidModel::paper_default(cfg.wss_pages.max(1024));
+        let mut p = build_policy(kind, g, raid, 5);
+        let mut w = FioWorkload::new(cfg, 99);
+        run_closed_loop(p.as_mut(), &mut w, &ServiceModel::paper_default(), 5)
+    }
+
+    #[test]
+    fn completes_the_configured_volume() {
+        let r = run(PolicyKind::Wt, 0.5, 8192);
+        let cfg = FioConfig::paper(0.5).scaled(8192);
+        assert_eq!(r.requests, cfg.total_pages);
+        assert!(r.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn contention_raises_latency_above_service_time() {
+        let r = run(PolicyKind::Nossd, 0.0, 8192);
+        let m = ServiceModel::paper_default();
+        // 16 threads on 5 disks: mean response must exceed raw service.
+        assert!(r.mean_response > m.hdd_op * 2, "no contention visible: {}", r.mean_response);
+    }
+
+    #[test]
+    fn kdd_cuts_latency_versus_nossd_and_wt() {
+        let nossd = run(PolicyKind::Nossd, 0.25, 2048);
+        let wt = run(PolicyKind::Wt, 0.25, 2048);
+        let kdd = run(PolicyKind::Kdd(0.25), 0.25, 2048);
+        assert!(kdd.mean_response < nossd.mean_response, "KDD {} !< Nossd {}", kdd.mean_response, nossd.mean_response);
+        assert!(kdd.mean_response < wt.mean_response, "KDD {} !< WT {}", kdd.mean_response, wt.mean_response);
+    }
+
+    #[test]
+    fn wa_writes_least_to_ssd() {
+        let wa = run(PolicyKind::Wa, 0.25, 2048);
+        let wt = run(PolicyKind::Wt, 0.25, 2048);
+        let lv = run(PolicyKind::LeavO, 0.25, 2048);
+        let kdd = run(PolicyKind::Kdd(0.25), 0.25, 2048);
+        assert!(wa.ssd_write_bytes < kdd.ssd_write_bytes);
+        assert!(kdd.ssd_write_bytes < wt.ssd_write_bytes, "KDD {} !< WT {}", kdd.ssd_write_bytes, wt.ssd_write_bytes);
+        assert!(wt.ssd_write_bytes < lv.ssd_write_bytes, "WT {} !< LeavO {}", wt.ssd_write_bytes, lv.ssd_write_bytes);
+    }
+
+    #[test]
+    fn higher_read_rate_narrows_wa_gap() {
+        let kdd0 = run(PolicyKind::Kdd(0.25), 0.0, 2048);
+        let kdd75 = run(PolicyKind::Kdd(0.25), 0.75, 2048);
+        let wa0 = run(PolicyKind::Wa, 0.0, 2048);
+        let wa75 = run(PolicyKind::Wa, 0.75, 2048);
+        let gap0 = kdd0.ssd_write_bytes.as_u64() as f64 / wa0.ssd_write_bytes.as_u64().max(1) as f64;
+        let gap75 = kdd75.ssd_write_bytes.as_u64() as f64 / wa75.ssd_write_bytes.as_u64().max(1) as f64;
+        assert!(gap75 < gap0, "gap must narrow with read rate: {gap0} vs {gap75}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Timing simulation: turns the policies' counted device operations into
+//! response times — the §IV-B measurements (Figures 9–11).
+//!
+//! * [`service`] — the service-time model: how long one request's
+//!   foreground operations take on the disks, the flash and the CPU;
+//! * [`queue`] — virtual-time multi-server queues (the RAID's member
+//!   disks, the SSD's channels);
+//! * [`openloop`] — trace replay by arrival timestamp (the RAIDmeter
+//!   experiment of Figure 9);
+//! * [`des`] — a refined discrete-event replay: per-member-disk FIFO
+//!   queues with seek-position-aware mechanical service times;
+//! * [`closedloop`] — N back-to-back request threads over a Zipf source
+//!   (the FIO experiment of Figures 10–11);
+//! * [`factory`] — constructs any policy by name so experiments can sweep
+//!   them uniformly;
+//! * [`prototype`] — drives the real-byte `KddEngine` from concurrent OS
+//!   threads with a background cleaner, demonstrating the kernel-module
+//!   deployment shape.
+
+#![warn(missing_docs)]
+
+pub mod closedloop;
+pub mod des;
+pub mod factory;
+pub mod openloop;
+pub mod prototype;
+pub mod queue;
+pub mod service;
+
+pub use closedloop::{run_closed_loop, ClosedLoopReport};
+pub use des::{replay_des, DesReport};
+pub use factory::{build_policy, PolicyKind};
+pub use openloop::{replay_open_loop, OpenLoopReport};
+pub use queue::MultiServer;
+pub use service::ServiceModel;

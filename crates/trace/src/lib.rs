@@ -1,0 +1,30 @@
+//! Workload substrate: block-trace records, on-disk trace parsers,
+//! synthetic regenerators of the paper's traces, and the FIO-style
+//! closed-loop generator.
+//!
+//! The paper evaluates on four block traces (Table I): the two UMass/SPC
+//! financial OLTP traces (Fin1, Fin2) and two MSR-Cambridge volumes (Hm0,
+//! Web0), plus FIO Zipfian synthetic load (§IV-B3). The original trace
+//! files are not redistributable, so this crate provides **both** real
+//! parsers for the published formats ([`spc`], [`msr`]) and synthetic
+//! regenerators ([`synth`]) whose output matches Table I's marginal
+//! statistics — unique pages (total/read/write), request counts, and read
+//! ratio — with Zipf-skewed reuse and run-length spatial locality. The
+//! cache policies only observe `(time, op, lba, len)`, so matching those
+//! statistics preserves the *relative* behaviour of the policies, which is
+//! what every figure reports.
+
+#![warn(missing_docs)]
+
+pub mod fio;
+pub mod msr;
+pub mod record;
+pub mod spc;
+pub mod stats;
+pub mod synth;
+pub mod writer;
+
+pub use fio::FioWorkload;
+pub use record::{Op, Trace, TraceRecord};
+pub use stats::TraceStats;
+pub use synth::{PaperTrace, SynthSpec};

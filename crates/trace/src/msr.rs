@@ -1,0 +1,122 @@
+//! Parser for MSR-Cambridge trace files (the Hm0/Web0 volumes).
+//!
+//! Each line is
+//! `Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime`:
+//!
+//! * `Timestamp` — Windows filetime (100 ns ticks since 1601);
+//! * `Type` — `Read`/`Write`;
+//! * `Offset`, `Size` — bytes;
+//! * `ResponseTime` — ignored (we re-simulate timing ourselves).
+//!
+//! The first record's timestamp is treated as trace start. An optional
+//! disk filter selects one volume (the paper uses volume 0 of each
+//! server).
+
+use crate::record::{Op, Trace, TraceRecord};
+use crate::spc::ParseError;
+use kdd_util::units::SimTime;
+use std::io::BufRead;
+
+/// Parse an MSR-Cambridge trace.
+///
+/// `disk_filter` keeps only records of that disk number (None = all).
+pub fn parse<R: BufRead>(reader: R, page_size: u32, disk_filter: Option<u32>) -> Result<Trace, ParseError> {
+    let mut trace = Trace::new(page_size);
+    let pp = page_size as u64;
+    let mut t0: Option<u64> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseError { line: lineno, message: e.to_string() })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').map(str::trim).collect();
+        if f.len() < 6 {
+            return Err(ParseError { line: lineno, message: format!("expected 6+ fields, got {}", f.len()) });
+        }
+        let ticks: u64 = f[0].parse().map_err(|e| ParseError {
+            line: lineno,
+            message: format!("bad timestamp: {e}"),
+        })?;
+        let disk: u32 = f[2].parse().map_err(|e| ParseError {
+            line: lineno,
+            message: format!("bad disk number: {e}"),
+        })?;
+        if disk_filter.is_some_and(|d| d != disk) {
+            continue;
+        }
+        let op = match f[3] {
+            "Read" | "read" | "R" | "r" => Op::Read,
+            "Write" | "write" | "W" | "w" => Op::Write,
+            other => {
+                return Err(ParseError { line: lineno, message: format!("bad type {other:?}") })
+            }
+        };
+        let offset: u64 = f[4].parse().map_err(|e| ParseError {
+            line: lineno,
+            message: format!("bad offset: {e}"),
+        })?;
+        let size: u64 = f[5].parse().map_err(|e| ParseError {
+            line: lineno,
+            message: format!("bad size: {e}"),
+        })?;
+
+        let start = *t0.get_or_insert(ticks);
+        let rel_ns = ticks.saturating_sub(start) * 100; // 100ns ticks → ns
+        let first_page = offset / pp;
+        let last_page = (offset + size.max(1) - 1) / pp;
+        trace.records.push(TraceRecord {
+            time: SimTime::from_nanos(rel_ns),
+            op,
+            lba: first_page,
+            len: (last_page - first_page + 1) as u32,
+        });
+    }
+    trace.sort_by_time();
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+128166372003061629,hm,0,Read,383496192,32768,413
+128166372016382155,hm,0,Write,2822144,4096,388
+128166372026382245,hm,1,Read,0,512,100
+";
+
+    #[test]
+    fn parses_and_rebases_time() {
+        let t = parse(Cursor::new(SAMPLE), 4096, None).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records[0].time, SimTime::ZERO);
+        // (016382155-003061629)*100ns
+        assert_eq!(t.records[1].time.as_nanos(), 13_320_526 * 100);
+        assert_eq!(t.records[0].lba, 383496192 / 4096);
+        assert_eq!(t.records[0].len, 8);
+        assert_eq!(t.records[1].op, Op::Write);
+    }
+
+    #[test]
+    fn disk_filter_selects_volume() {
+        let t = parse(Cursor::new(SAMPLE), 4096, Some(0)).unwrap();
+        assert_eq!(t.len(), 2);
+        let t1 = parse(Cursor::new(SAMPLE), 4096, Some(1)).unwrap();
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1.records[0].len, 1); // 512B rounds up to one page
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let err = parse(Cursor::new("1,hm,0,Read,0"), 4096, None).unwrap_err();
+        assert!(err.message.contains("fields"));
+    }
+
+    #[test]
+    fn rejects_bad_type() {
+        assert!(parse(Cursor::new("1,hm,0,Delete,0,512,1"), 4096, None).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared utilities for the KDD reproduction.
+//!
+//! This crate holds the small, dependency-light building blocks every other
+//! crate in the workspace leans on:
+//!
+//! * [`stats`] — streaming mean/variance, latency histograms, ratio counters;
+//! * [`sampler`] — Zipf and (clamped) Gaussian samplers implemented from the
+//!   formulas the paper cites, so the statistical models are auditable;
+//! * [`lru`] — an intrusive, slab-backed LRU list used by the set-associative
+//!   cache;
+//! * [`hash`] — a fast 64-bit mixing hash used to map LBAs to cache sets;
+//! * [`rng`] — deterministic RNG construction helpers;
+//! * [`units`] — simulated-time and byte-size newtypes.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod lru;
+pub mod rng;
+pub mod sampler;
+pub mod stats;
+pub mod units;
+
+pub use hash::mix64;
+pub use rng::seeded_rng;
+pub use sampler::{ClampedGaussian, Gaussian, Zipf};
+pub use stats::{Histogram, RatioCounter, StreamingStats};
+pub use units::{ByteSize, SimTime, KIB, MIB};

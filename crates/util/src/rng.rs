@@ -1,0 +1,89 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every experiment in the reproduction is seeded so that tables and figures
+//! are exactly re-generatable. We standardise on `StdRng` seeded through
+//! SplitMix64 so that nearby seeds (0, 1, 2, ...) still produce uncorrelated
+//! streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One step of the SplitMix64 generator; used to expand small seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Build a deterministic `StdRng` from a small seed.
+///
+/// The 32-byte internal seed is expanded with SplitMix64, so consecutive
+/// integer seeds yield statistically independent generators.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    let mut state = seed;
+    let mut bytes = [0u8; 32];
+    for chunk in bytes.chunks_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    StdRng::from_seed(bytes)
+}
+
+/// Derive a sub-seed for a named stream from a master seed.
+///
+/// Used when one experiment needs several independent random streams (e.g.
+/// address sampling vs. compressibility sampling) that must not interleave.
+pub fn derive_seed(master: u64, stream: &str) -> u64 {
+    let mut state = master;
+    let mut acc = splitmix64(&mut state);
+    for b in stream.bytes() {
+        state ^= b as u64;
+        acc ^= splitmix64(&mut state).rotate_left(7);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derived_seeds_distinct_per_stream() {
+        let s1 = derive_seed(7, "addresses");
+        let s2 = derive_seed(7, "compressibility");
+        assert_ne!(s1, s2);
+        // and stable:
+        assert_eq!(s1, derive_seed(7, "addresses"));
+    }
+
+    #[test]
+    fn splitmix_covers_bits() {
+        let mut st = 0u64;
+        let mut or_acc = 0u64;
+        for _ in 0..64 {
+            or_acc |= splitmix64(&mut st);
+        }
+        assert_eq!(or_acc, u64::MAX);
+    }
+}

@@ -1,0 +1,117 @@
+//! Model-based property tests for the utility data structures: the
+//! intrusive LRU list against a `VecDeque` reference, and the ghost list
+//! against an ordered map.
+
+use kdd_util::lru::{GhostList, LruList};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Push(usize),
+    Touch(usize),
+    Remove(usize),
+    PopBack,
+}
+
+fn lru_ops(slots: usize) -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        3 => (0..slots).prop_map(LruOp::Push),
+        3 => (0..slots).prop_map(LruOp::Touch),
+        2 => (0..slots).prop_map(LruOp::Remove),
+        1 => Just(LruOp::PopBack),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The intrusive list behaves exactly like a VecDeque of slots
+    /// (front = MRU, back = LRU) under arbitrary operation sequences.
+    #[test]
+    fn lru_matches_deque_model(
+        slots in 1usize..24,
+        script in proptest::collection::vec(lru_ops(24), 0..200),
+    ) {
+        let mut lru = LruList::with_capacity(slots);
+        let mut model: VecDeque<usize> = VecDeque::new(); // front = MRU
+        for op in &script {
+            match op {
+                LruOp::Push(s) if *s < slots => {
+                    if !model.contains(s) {
+                        lru.push_front(*s);
+                        model.push_front(*s);
+                    }
+                }
+                LruOp::Touch(s) if *s < slots => {
+                    if model.contains(s) {
+                        lru.touch(*s);
+                        model.retain(|x| x != s);
+                        model.push_front(*s);
+                    }
+                }
+                LruOp::Remove(s) if *s < slots => {
+                    if model.contains(s) {
+                        lru.remove(*s);
+                        model.retain(|x| x != s);
+                    }
+                }
+                LruOp::PopBack => {
+                    prop_assert_eq!(lru.pop_back(), model.pop_back());
+                }
+                _ => {}
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            prop_assert_eq!(lru.front(), model.front().copied());
+            prop_assert_eq!(lru.back(), model.back().copied());
+        }
+        // Full-order agreement at the end.
+        let got: Vec<usize> = lru.iter_mru().collect();
+        let expect: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+        let got_rev: Vec<usize> = lru.iter_lru().collect();
+        let expect_rev: Vec<usize> = model.iter().rev().copied().collect();
+        prop_assert_eq!(got_rev, expect_rev);
+    }
+
+    /// The ghost list remembers exactly the most recent `capacity`
+    /// distinct keys.
+    #[test]
+    fn ghost_list_keeps_recent_keys(
+        capacity in 1usize..16,
+        keys in proptest::collection::vec(0u64..32, 1..200),
+    ) {
+        let mut ghost = GhostList::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new(); // front = oldest
+        for &k in &keys {
+            model.retain(|&x| x != k);
+            model.push_back(k);
+            while model.len() > capacity {
+                model.pop_front();
+            }
+            ghost.insert(k);
+            prop_assert_eq!(ghost.len(), model.len());
+        }
+        for &k in &model {
+            prop_assert!(ghost.contains(k), "recent key {} forgotten", k);
+        }
+        for k in 0u64..32 {
+            if !model.contains(&k) {
+                prop_assert!(!ghost.contains(k), "stale key {} remembered", k);
+            }
+        }
+    }
+
+    /// Removing an admitted key leaves the rest intact.
+    #[test]
+    fn ghost_remove_is_precise(keys in proptest::collection::vec(0u64..16, 1..60)) {
+        let mut ghost = GhostList::new(8);
+        for &k in &keys {
+            ghost.insert(k);
+        }
+        let victim = keys[keys.len() / 2];
+        let had = ghost.contains(victim);
+        prop_assert_eq!(ghost.remove(victim), had);
+        prop_assert!(!ghost.contains(victim));
+    }
+}

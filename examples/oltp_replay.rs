@@ -1,0 +1,70 @@
+//! OLTP trace replay: regenerate the paper's financial traces (Table I)
+//! and compare all caching policies on hit ratio, SSD write traffic and
+//! open-loop response time — a miniature of Figures 5/6/9.
+//!
+//! Run with: `cargo run --release --example oltp_replay [scale]`
+//! (`scale` divides the Table I trace sizes; default 200.)
+
+use kdd::prelude::*;
+use kdd::sim::openloop::replay_open_loop;
+
+fn main() {
+    let scale: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let model = ServiceModel::paper_default();
+
+    println!("Table I (regenerated at 1/{scale} scale):");
+    println!("{}", TraceStats::table_header());
+    let traces: Vec<(PaperTrace, Trace)> = PaperTrace::ALL
+        .iter()
+        .map(|&pt| (pt, pt.generate_scaled(scale, 42)))
+        .collect();
+    for (pt, trace) in &traces {
+        println!("{}", TraceStats::compute(trace).table_row(pt.name()));
+    }
+
+    for (pt, trace) in &traces {
+        let stats = TraceStats::compute(trace);
+        // Cache sized at ~15% of the trace's unique pages, like the middle
+        // of the paper's sweep range.
+        let cache_pages = (stats.unique_total * 15 / 100).max(256);
+        let geometry = CacheGeometry {
+            total_pages: cache_pages,
+            ways: 64.min(cache_pages as u32),
+            page_size: 4096,
+        };
+        let raid = RaidModel::paper_default(trace.address_space_pages().max(1024));
+
+        println!(
+            "\n=== {} (cache {} pages, {:.0}% of unique) ===",
+            pt.name(),
+            cache_pages,
+            100.0 * cache_pages as f64 / stats.unique_total as f64
+        );
+        println!(
+            "{:<9} {:>9} {:>14} {:>10} {:>12} {:>12}",
+            "policy", "hit%", "ssd writes", "meta%", "mean resp", "p99 resp"
+        );
+        for kind in [
+            PolicyKind::Nossd,
+            PolicyKind::Wa,
+            PolicyKind::Wt,
+            PolicyKind::LeavO,
+            PolicyKind::Kdd(0.50),
+            PolicyKind::Kdd(0.25),
+            PolicyKind::Kdd(0.12),
+        ] {
+            let mut policy = build_policy(kind, geometry, raid, 7);
+            let report = replay_open_loop(policy.as_mut(), trace, &model, 5, 1);
+            let s = policy.stats();
+            println!(
+                "{:<9} {:>8.1}% {:>14} {:>9.2}% {:>12} {:>12}",
+                report.policy,
+                report.hit_ratio * 100.0,
+                format!("{}", s.ssd_write_bytes(4096)),
+                s.metadata_fraction() * 100.0,
+                format!("{}", report.mean_response),
+                format!("{}", report.p99),
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Policy conformance: property-style tests that every caching policy
+//! obeys the invariants the paper's comparison relies on, across random
+//! workloads.
+
+use kdd::prelude::*;
+use kdd::util::rng::seeded_rng;
+use proptest::prelude::*;
+use rand::RngExt;
+
+const PAGE: u32 = 4096;
+
+fn all_kinds() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Nossd,
+        PolicyKind::Wt,
+        PolicyKind::Wa,
+        PolicyKind::Wb,
+        PolicyKind::LeavO,
+        PolicyKind::Kdd(0.50),
+        PolicyKind::Kdd(0.25),
+        PolicyKind::Kdd(0.12),
+    ]
+}
+
+fn run_workload(kind: PolicyKind, seed: u64, requests: u32, space: u64, write_frac: f64) -> CacheStats {
+    let geometry = CacheGeometry { total_pages: 256, ways: 16, page_size: PAGE };
+    let raid = RaidModel::paper_default(space.max(1024));
+    let mut p = build_policy(kind, geometry, raid, seed);
+    let mut rng = seeded_rng(seed);
+    let zipf = kdd::util::sampler::Zipf::new(space, 0.9);
+    for _ in 0..requests {
+        let lba = zipf.sample(&mut rng) - 1;
+        let op = if rng.random::<f64>() < write_frac { Op::Write } else { Op::Read };
+        p.access(op, lba);
+    }
+    p.flush();
+    *p.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Request accounting always balances: hits + misses == requests.
+    #[test]
+    fn accounting_balances(seed in 0u64..1000, write_frac in 0.0f64..1.0) {
+        for kind in all_kinds() {
+            let s = run_workload(kind, seed, 600, 512, write_frac);
+            prop_assert_eq!(s.requests(), 600, "{}", kind.name());
+            prop_assert!(s.hit_ratio() >= 0.0 && s.hit_ratio() <= 1.0);
+        }
+    }
+
+    /// Nossd never touches the SSD; WA writes it only on read misses.
+    #[test]
+    fn bypass_policies_respect_bypass(seed in 0u64..1000) {
+        let nossd = run_workload(PolicyKind::Nossd, seed, 500, 512, 0.5);
+        prop_assert_eq!(nossd.ssd_writes_pages(), 0);
+        prop_assert_eq!(nossd.ssd_reads, 0);
+        let wa = run_workload(PolicyKind::Wa, seed, 500, 512, 0.5);
+        prop_assert_eq!(wa.ssd_writes_pages(), wa.read_misses);
+    }
+
+    /// On write-heavy workloads with reuse, the paper's traffic ordering
+    /// holds: WA ≤ KDD-12 ≤ KDD-25 ≤ KDD-50 ≤ WT ≤ LeavO.
+    #[test]
+    fn traffic_ordering_on_write_heavy(seed in 0u64..200) {
+        // Working set well beyond the 256-page cache, like the paper's
+        // traces vs their cache sweep; reuse still strong (zipf 0.9).
+        let space = 1200u64;
+        let reqs = 4000;
+        let mix = 0.65; // enough reads that fills expose LeavO's capacity cost
+        let wa = run_workload(PolicyKind::Wa, seed, reqs, space, mix).ssd_writes_pages();
+        let k12 = run_workload(PolicyKind::Kdd(0.12), seed, reqs, space, mix).ssd_writes_pages();
+        let k25 = run_workload(PolicyKind::Kdd(0.25), seed, reqs, space, mix).ssd_writes_pages();
+        let k50 = run_workload(PolicyKind::Kdd(0.50), seed, reqs, space, mix).ssd_writes_pages();
+        let wt = run_workload(PolicyKind::Wt, seed, reqs, space, mix).ssd_writes_pages();
+        let lv = run_workload(PolicyKind::LeavO, seed, reqs, space, mix).ssd_writes_pages();
+        prop_assert!(wa <= k12, "WA {} > KDD-12 {}", wa, k12);
+        prop_assert!(k12 <= k25, "KDD-12 {} > KDD-25 {}", k12, k25);
+        prop_assert!(k25 <= k50, "KDD-25 {} > KDD-50 {}", k25, k50);
+        // At 50% delta ratio the savings are marginal (half-page deltas +
+        // reclaim-induced refills), so allow noise around WT; medium and
+        // high locality must undercut it cleanly.
+        prop_assert!((k50 as f64) < wt as f64 * 1.05, "KDD-50 {} >> WT {}", k50, wt);
+        prop_assert!(k25 < wt, "KDD-25 {} >= WT {}", k25, wt);
+        prop_assert!(lv as f64 > wt as f64 * 0.98, "LeavO {} should not undercut WT {}", lv, wt);
+    }
+
+    /// KDD's foreground write path never performs a parity round on a
+    /// hit, and WT always does.
+    #[test]
+    fn parity_rounds_per_policy(seed in 0u64..1000) {
+        let geometry = CacheGeometry { total_pages: 128, ways: 16, page_size: PAGE };
+        let raid = RaidModel::paper_default(4096);
+        let mut kdd = build_policy(PolicyKind::Kdd(0.25), geometry, raid, seed);
+        let mut wt = build_policy(PolicyKind::Wt, geometry, raid, seed);
+        kdd.access(Op::Write, 7);
+        wt.access(Op::Write, 7);
+        let k = kdd.access(Op::Write, 7);
+        let w = wt.access(Op::Write, 7);
+        prop_assert!(k.hit && w.hit);
+        prop_assert_eq!(k.foreground.raid_rounds, 1, "KDD hit: data write only");
+        prop_assert_eq!(k.foreground.raid_reads, 0);
+        prop_assert_eq!(w.foreground.raid_rounds, 2, "WT hit: full small write");
+        prop_assert_eq!(w.foreground.raid_reads, 2);
+    }
+
+    /// Metadata traffic only exists for the persistent policies, and for
+    /// KDD it stays a small fraction (the Figure 4 property).
+    #[test]
+    fn metadata_fraction_bounded(seed in 0u64..100) {
+        let wt = run_workload(PolicyKind::Wt, seed, 2000, 2048, 0.5);
+        prop_assert_eq!(wt.ssd_meta_writes, 0, "WT persists nothing");
+        let kdd = run_workload(PolicyKind::Kdd(0.25), seed, 2000, 2048, 0.5);
+        let lv = run_workload(PolicyKind::LeavO, seed, 2000, 2048, 0.5);
+        prop_assert!(kdd.metadata_fraction() < 0.10, "KDD metadata {}", kdd.metadata_fraction());
+        // LeavO's uncoalesced appends cost at least as much metadata.
+        prop_assert!(lv.ssd_meta_writes >= kdd.ssd_meta_writes,
+            "LeavO meta {} < KDD meta {}", lv.ssd_meta_writes, kdd.ssd_meta_writes);
+    }
+}
+
+#[test]
+fn hit_ratio_monotone_in_cache_size_for_every_policy() {
+    // Bigger caches must not hit less (same workload, LRU stack property
+    // holds approximately for set-associative caches with many sets).
+    for kind in [PolicyKind::Wt, PolicyKind::Wa, PolicyKind::LeavO, PolicyKind::Kdd(0.25)] {
+        let mut prev = -1.0f64;
+        for cache_pages in [128u64, 512, 2048] {
+            let geometry = CacheGeometry {
+                total_pages: cache_pages,
+                ways: 16,
+                page_size: PAGE,
+            };
+            let raid = RaidModel::paper_default(8192);
+            let mut p = build_policy(kind, geometry, raid, 5);
+            let mut rng = seeded_rng(5);
+            let zipf = kdd::util::sampler::Zipf::new(4096, 0.9);
+            for _ in 0..20_000 {
+                let lba = zipf.sample(&mut rng) - 1;
+                let op = if rng.random::<f64>() < 0.5 { Op::Write } else { Op::Read };
+                p.access(op, lba);
+            }
+            p.flush();
+            let hr = p.stats().hit_ratio();
+            assert!(
+                hr >= prev - 0.03,
+                "{}: hit ratio fell from {prev} to {hr} at {cache_pages} pages",
+                kind.name()
+            );
+            prev = hr;
+        }
+    }
+}
+
+#[test]
+fn stats_severity_of_leavo_space_overhead() {
+    // LeavO pins two slots per updated page; with the same geometry its
+    // resident working set must be smaller than KDD's (which pins one
+    // page plus a fraction of a delta page).
+    let geometry = CacheGeometry { total_pages: 256, ways: 16, page_size: PAGE };
+    let raid = RaidModel::paper_default(4096);
+    let mut lv = build_policy(PolicyKind::LeavO, geometry, raid, 9);
+    let mut kdd = build_policy(PolicyKind::Kdd(0.12), geometry, raid, 9);
+    let mut rng = seeded_rng(9);
+    let zipf = kdd::util::sampler::Zipf::new(600, 1.0);
+    for _ in 0..30_000 {
+        let lba = zipf.sample(&mut rng) - 1;
+        lv.access(Op::Write, lba);
+        kdd.access(Op::Write, lba);
+    }
+    // Steady state under pure-write pressure: LeavO's retained pages give
+    // it decent hits but cost full-page programs + uncoalesced metadata;
+    // KDD spends a fraction of the SSD writes for a hit ratio in the same
+    // neighbourhood.
+    assert!(
+        kdd.stats().ssd_writes_pages() * 4 < lv.stats().ssd_writes_pages() * 3,
+        "KDD-12 {} should write at least 25% less than LeavO {}",
+        kdd.stats().ssd_writes_pages(),
+        lv.stats().ssd_writes_pages()
+    );
+    // Under *pure-write* stress KDD's simple-reclaim cleaning (§III-D
+    // scheme 2) periodically drops hot pages that LeavO retains, so LeavO
+    // can out-hit KDD here — the paper's "victim pages are commonly cold"
+    // premise needs reads in the mix (see the Fin1 integration test,
+    // where KDD-12 out-hits LeavO). Keep a sanity band only.
+    assert!(
+        kdd.stats().hit_ratio() >= lv.stats().hit_ratio() - 0.20,
+        "KDD {} vs LeavO {} hit ratio out of band",
+        kdd.stats().hit_ratio(),
+        lv.stats().hit_ratio()
+    );
+}
