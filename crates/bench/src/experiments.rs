@@ -132,7 +132,7 @@ pub fn fig4(cfg: &ExpConfig) -> Vec<Row> {
             )
         })
         .collect();
-    rows.sort_by(|a, b| (a.workload.clone(), a.policy.clone()).cmp(&(b.workload.clone(), b.policy.clone())));
+    rows.sort_by_key(|a| (a.workload.clone(), a.policy.clone()));
     rows
 }
 
@@ -231,7 +231,7 @@ pub fn fig9(cfg: &ExpConfig) -> Vec<Row> {
             )
         })
         .collect();
-    rows.sort_by(|a, b| (a.workload.clone(), a.policy.clone()).cmp(&(b.workload.clone(), b.policy.clone())));
+    rows.sort_by_key(|a| (a.workload.clone(), a.policy.clone()));
     rows
 }
 
@@ -275,7 +275,7 @@ pub fn fig10(cfg: &ExpConfig) -> Vec<Row> {
             Row::new("fig10", "fio-zipf", "read_rate", rate, &kind.name(), vec![("mean_resp_ms", ms)])
         })
         .collect();
-    rows.sort_by(|a, b| (a.policy.clone(), (a.x * 100.0) as i64).cmp(&(b.policy.clone(), (b.x * 100.0) as i64)));
+    rows.sort_by_key(|a| (a.policy.clone(), (a.x * 100.0) as i64));
     rows
 }
 
@@ -288,7 +288,7 @@ pub fn fig11(cfg: &ExpConfig) -> Vec<Row> {
             Row::new("fig11", "fio-zipf", "read_rate", rate, &kind.name(), vec![("ssd_write_mib", mib)])
         })
         .collect();
-    rows.sort_by(|a, b| (a.policy.clone(), (a.x * 100.0) as i64).cmp(&(b.policy.clone(), (b.x * 100.0) as i64)));
+    rows.sort_by_key(|a| (a.policy.clone(), (a.x * 100.0) as i64));
     rows
 }
 
@@ -365,7 +365,10 @@ fn ablation_run(trace: &Trace, cache_pages: u64, variant: &str, tweak: impl FnOn
     }
 }
 
-fn ablation(cfg: &ExpConfig, name: &str, variants: Vec<(&'static str, Box<dyn Fn(&mut KddConfig) + Sync + Send>)>) -> Vec<Row> {
+/// One named configuration tweak in an ablation sweep.
+type Variant = (&'static str, Box<dyn Fn(&mut KddConfig) + Sync + Send>);
+
+fn ablation(cfg: &ExpConfig, name: &str, variants: Vec<Variant>) -> Vec<Row> {
     let traces = [PaperTrace::Fin1, PaperTrace::Web0];
     let cells: Vec<(PaperTrace, usize)> = traces
         .iter()
@@ -393,7 +396,7 @@ fn ablation(cfg: &ExpConfig, name: &str, variants: Vec<(&'static str, Box<dyn Fn
             )
         })
         .collect();
-    rows.sort_by(|a, b| (a.workload.clone(), a.policy.clone()).cmp(&(b.workload.clone(), b.policy.clone())));
+    rows.sort_by_key(|a| (a.workload.clone(), a.policy.clone()));
     rows
 }
 
@@ -507,7 +510,7 @@ pub fn ablation_raid6(cfg: &ExpConfig) -> Vec<Row> {
             )
         })
         .collect();
-    rows.sort_by(|a, b| (a.workload.clone(), a.policy.clone()).cmp(&(b.workload.clone(), b.policy.clone())));
+    rows.sort_by_key(|a| (a.workload.clone(), a.policy.clone()));
     rows
 }
 
@@ -549,7 +552,7 @@ pub fn ablation_desmodel(cfg: &ExpConfig) -> Vec<Row> {
             )
         })
         .collect();
-    rows.sort_by(|a, b| (a.workload.clone(), a.policy.clone()).cmp(&(b.workload.clone(), b.policy.clone())));
+    rows.sort_by_key(|a| (a.workload.clone(), a.policy.clone()));
     rows
 }
 
@@ -579,7 +582,7 @@ mod tests {
                 .iter()
                 .filter(|r| r.workload == wl)
                 .collect();
-            group.sort_by(|a, b| (a.policy.clone(), (a.x * 100.0) as i64).cmp(&(b.policy.clone(), (b.x * 100.0) as i64)));
+            group.sort_by_key(|a| (a.policy.clone(), (a.x * 100.0) as i64));
             for pair in group.windows(2) {
                 if pair[0].policy == pair[1].policy {
                     let m0 = pair[0].metric("metadata_pct").unwrap();

@@ -12,7 +12,7 @@
 //! relocates them, and erases it. Per-block erase counts model wear, and a
 //! block past its rated P/E cycles is retired.
 
-use crate::error::DevError;
+use crate::error::{DevError, FaultDomain};
 use crate::flash::{FlashGeometry, FlashTimings};
 use kdd_util::units::SimTime;
 use serde::{Deserialize, Serialize};
@@ -271,7 +271,7 @@ impl Ftl {
                 self.open_channel_blocks()?;
             }
         }
-        Err(DevError::Failed)
+        Err(DevError::failed(FaultDomain::Ssd))
     }
 
     /// Open a free block on every channel that lacks one.
@@ -302,7 +302,7 @@ impl Ftl {
             }
         }
         if self.open_blocks.iter().all(|&b| b == UNMAPPED) {
-            return Err(DevError::Failed);
+            return Err(DevError::failed(FaultDomain::Ssd));
         }
         Ok(())
     }
@@ -315,19 +315,18 @@ impl Ftl {
         while self.free_blocks <= self.gc_threshold {
             guard += 1;
             if guard > self.blocks.len() * 2 {
-                return Err(DevError::Failed); // no reclaimable space
+                return Err(DevError::failed(FaultDomain::Ssd)); // no reclaimable space
             }
             let mut victim: Option<(u64, u32)> = None;
             for b in 0..self.blocks.len() as u64 {
                 let blk = &self.blocks[b as usize];
-                if blk.state == BlockState::Full {
-                    if victim.is_none_or(|(_, v)| blk.valid < v) {
+                if blk.state == BlockState::Full
+                    && victim.is_none_or(|(_, v)| blk.valid < v) {
                         victim = Some((b, blk.valid));
                     }
-                }
             }
             let Some((vb, valid)) = victim else {
-                return Err(DevError::Failed);
+                return Err(DevError::failed(FaultDomain::Ssd));
             };
             // Relocate valid pages.
             if valid > 0 {

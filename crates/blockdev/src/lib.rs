@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod flash;
 pub mod ftl;
 pub mod hdd;
@@ -29,7 +30,10 @@ pub mod nvram;
 pub mod ssd;
 pub mod store;
 
-pub use error::DevError;
+pub use error::{DevError, FaultDomain};
+pub use fault::{
+    FaultCounters, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec, IoDir, IoOutcome,
+};
 pub use flash::{FlashGeometry, FlashTimings};
 pub use ftl::{EnduranceReport, Ftl};
 pub use hdd::HddModel;

@@ -12,7 +12,8 @@
 //! programs; the *metadata* log writes whole pages too) are charged a full
 //! page program, as on real flash.
 
-use crate::error::DevError;
+use crate::error::{DevError, FaultDomain};
+use crate::fault::FaultInjector;
 use crate::flash::{FlashGeometry, FlashTimings};
 use crate::ftl::{EnduranceReport, Ftl};
 use crate::store::{MemStore, PageStore};
@@ -40,6 +41,7 @@ pub struct SsdDevice {
     ftl: Ftl,
     store: MemStore,
     failed: bool,
+    injector: Option<FaultInjector>,
 }
 
 impl SsdDevice {
@@ -52,14 +54,14 @@ impl SsdDevice {
         let geometry = FlashGeometry::fit_capacity(physical, page_size);
         let ftl = Ftl::new(geometry, FlashTimings::mlc_default(), op_fraction);
         let store = MemStore::new(ftl.logical_pages(), page_size);
-        SsdDevice { ftl, store, failed: false }
+        SsdDevice { ftl, store, failed: false, injector: None }
     }
 
     /// Create from explicit geometry/timings.
     pub fn new(geometry: FlashGeometry, timings: FlashTimings, op_fraction: f64) -> Self {
         let ftl = Ftl::new(geometry, timings, op_fraction);
         let store = MemStore::new(ftl.logical_pages(), geometry.page_size);
-        SsdDevice { ftl, store, failed: false }
+        SsdDevice { ftl, store, failed: false, injector: None }
     }
 
     /// Logical pages available to the cache layer.
@@ -77,10 +79,16 @@ impl SsdDevice {
         self.ftl.geometry().channels
     }
 
+    /// Route every page I/O through `injector` as [`FaultDomain::Ssd`].
+    pub fn attach_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector.clone());
+        self.store.attach_injector(injector, FaultDomain::Ssd);
+    }
+
     /// Read a logical page; returns its service time.
     pub fn read_page(&self, lpn: u64, buf: &mut [u8]) -> Result<SimTime, DevError> {
         if self.failed {
-            return Err(DevError::Failed);
+            return Err(DevError::failed(FaultDomain::Ssd));
         }
         let cost = self.ftl.read(lpn)?;
         self.store.read_page(lpn, buf)?;
@@ -93,7 +101,7 @@ impl SsdDevice {
     pub fn read_pages_parallel(&self, lpns: &[u64], bufs: &mut [Vec<u8>]) -> Result<SimTime, DevError> {
         assert_eq!(lpns.len(), bufs.len());
         if self.failed {
-            return Err(DevError::Failed);
+            return Err(DevError::failed(FaultDomain::Ssd));
         }
         let t = self.ftl.timings();
         let mut per_channel = vec![SimTime::ZERO; self.channels() as usize];
@@ -108,7 +116,7 @@ impl SsdDevice {
     /// Write a logical page; returns its service time (including any GC).
     pub fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<SimTime, DevError> {
         if self.failed {
-            return Err(DevError::Failed);
+            return Err(DevError::failed(FaultDomain::Ssd));
         }
         let cost = self.ftl.write(lpn)?;
         self.store.write_page(lpn, data)?;
@@ -118,7 +126,7 @@ impl SsdDevice {
     /// Discard a logical page (cache eviction) — free for the flash.
     pub fn trim_page(&mut self, lpn: u64) -> Result<(), DevError> {
         if self.failed {
-            return Err(DevError::Failed);
+            return Err(DevError::failed(FaultDomain::Ssd));
         }
         self.ftl.trim(lpn)?;
         self.store.trim_page(lpn)
@@ -149,6 +157,10 @@ impl SsdDevice {
         self.ftl = Ftl::new(geometry, timings, op.clamp(0.02, 0.5));
         self.store.replace();
         self.failed = false;
+        if let Some(inj) = &self.injector {
+            // A drop is cured by the spare; a persistent fault is not.
+            inj.on_replace(FaultDomain::Ssd);
+        }
     }
 
     /// Endurance snapshot (wear, WAF, projected lifetime).
@@ -217,7 +229,7 @@ mod tests {
         d.fail();
         assert!(d.is_failed());
         let mut buf = vec![0u8; 4096];
-        assert_eq!(d.read_page(0, &mut buf), Err(DevError::Failed));
+        assert_eq!(d.read_page(0, &mut buf), Err(DevError::failed(FaultDomain::Ssd)));
         d.replace();
         assert!(!d.is_failed());
         assert!(!d.is_mapped(0), "replacement must be empty");

@@ -4,7 +4,8 @@
 //! [`MemStore`] keeps only pages that were ever written in a hash map and
 //! reads unwritten pages as zeros — exactly what a fresh disk returns.
 
-use crate::error::DevError;
+use crate::error::{DevError, FaultDomain};
+use crate::fault::{apply_read_outcome, apply_write_outcome, FaultInjector, IoDir, IoOutcome};
 use kdd_util::hash::FastMap;
 
 /// Page-granular storage of actual contents.
@@ -32,13 +33,40 @@ pub struct MemStore {
     capacity_pages: u64,
     pages: FastMap<u64, Box<[u8]>>,
     failed: bool,
+    injector: Option<FaultInjector>,
+    domain: FaultDomain,
 }
 
 impl MemStore {
     /// Create a store of `capacity_pages` pages of `page_size` bytes.
     pub fn new(capacity_pages: u64, page_size: u32) -> Self {
         assert!(page_size > 0 && capacity_pages > 0);
-        MemStore { page_size, capacity_pages, pages: FastMap::default(), failed: false }
+        MemStore {
+            page_size,
+            capacity_pages,
+            pages: FastMap::default(),
+            failed: false,
+            injector: None,
+            domain: FaultDomain::Unknown,
+        }
+    }
+
+    /// Route every I/O through `injector`, identifying this store as `domain`.
+    pub fn attach_injector(&mut self, injector: FaultInjector, domain: FaultDomain) {
+        self.injector = Some(injector);
+        self.domain = domain;
+    }
+
+    /// The fault domain this store reports itself as.
+    pub fn domain(&self) -> FaultDomain {
+        self.domain
+    }
+
+    fn intercept(&self, dir: IoDir) -> IoOutcome {
+        match &self.injector {
+            Some(inj) => inj.begin_io(self.domain, dir),
+            None => IoOutcome::Proceed,
+        }
     }
 
     /// Inject a permanent device failure: all subsequent I/O errors.
@@ -65,7 +93,7 @@ impl MemStore {
 
     fn check(&self, lpn: u64) -> Result<(), DevError> {
         if self.failed {
-            return Err(DevError::Failed);
+            return Err(DevError::failed(self.domain));
         }
         if lpn >= self.capacity_pages {
             return Err(DevError::OutOfRange { lpn, capacity: self.capacity_pages });
@@ -86,22 +114,34 @@ impl PageStore for MemStore {
     fn read_page(&self, lpn: u64, buf: &mut [u8]) -> Result<(), DevError> {
         self.check(lpn)?;
         assert_eq!(buf.len(), self.page_size as usize, "buffer/page size mismatch");
+        let outcome = self.intercept(IoDir::Read);
         match self.pages.get(&lpn) {
             Some(data) => buf.copy_from_slice(data),
             None => buf.fill(0),
         }
-        Ok(())
+        apply_read_outcome(outcome, buf)
     }
 
     fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<(), DevError> {
         self.check(lpn)?;
         assert_eq!(data.len(), self.page_size as usize, "buffer/page size mismatch");
-        self.pages.insert(lpn, data.into());
+        let outcome = self.intercept(IoDir::Write);
+        let mut previous = vec![0u8; self.page_size as usize];
+        if let Some(old) = self.pages.get(&lpn) {
+            previous.copy_from_slice(old);
+        }
+        match apply_write_outcome(outcome, data, &previous)? {
+            Some(mangled) => self.pages.insert(lpn, mangled.into_boxed_slice()),
+            None => self.pages.insert(lpn, data.into()),
+        };
         Ok(())
     }
 
     fn trim_page(&mut self, lpn: u64) -> Result<(), DevError> {
         self.check(lpn)?;
+        if let IoOutcome::Fail(e) = self.intercept(IoDir::Write) {
+            return Err(e);
+        }
         self.pages.remove(&lpn);
         Ok(())
     }
@@ -133,7 +173,7 @@ mod tests {
     #[test]
     fn trim_restores_zero() {
         let mut s = MemStore::new(4, 64);
-        s.write_page(0, &vec![1u8; 64]).unwrap();
+        s.write_page(0, &[1u8; 64]).unwrap();
         s.trim_page(0).unwrap();
         let mut buf = vec![9u8; 64];
         s.read_page(0, &mut buf).unwrap();
@@ -152,16 +192,41 @@ mod tests {
     #[test]
     fn failure_injection() {
         let mut s = MemStore::new(4, 64);
-        s.write_page(1, &vec![5u8; 64]).unwrap();
+        s.write_page(1, &[5u8; 64]).unwrap();
         s.fail();
         assert!(s.is_failed());
         let mut buf = vec![0u8; 64];
-        assert_eq!(s.read_page(1, &mut buf), Err(DevError::Failed));
-        assert_eq!(s.write_page(1, &buf), Err(DevError::Failed));
+        assert_eq!(s.read_page(1, &mut buf), Err(DevError::failed(FaultDomain::Unknown)));
+        assert_eq!(s.write_page(1, &buf), Err(DevError::failed(FaultDomain::Unknown)));
         s.replace();
         assert!(!s.is_failed());
         s.read_page(1, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0), "replacement disk must be empty");
+    }
+
+    #[test]
+    fn injector_gates_io() {
+        use crate::fault::FaultPlan;
+        // op 0: transient write failure; op 2: torn write keeping 2 new bytes.
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .transient(0, FaultDomain::Disk(1))
+                .torn_write(2, FaultDomain::Disk(1), 2),
+        );
+        let mut s = MemStore::new(8, 4);
+        s.attach_injector(inj.clone(), FaultDomain::Disk(1));
+        assert_eq!(s.domain(), FaultDomain::Disk(1));
+
+        let err = s.write_page(0, &[7u8; 4]).unwrap_err();
+        assert!(err.is_transient());
+        s.write_page(0, &[1, 2, 3, 4]).unwrap(); // op 1: proceeds
+        s.write_page(0, &[9, 9, 9, 9]).unwrap(); // op 2: torn after 2 bytes
+
+        let mut buf = [0u8; 4];
+        s.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [9, 9, 3, 4], "torn write keeps the old suffix");
+        assert_eq!(inj.counters().torn_writes, 1);
+        assert_eq!(inj.op_count(), 4);
     }
 
     #[test]

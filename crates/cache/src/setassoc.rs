@@ -379,9 +379,7 @@ impl SetAssocCache {
 
     /// Iterate `(slot, lba, state)` over all occupied, mapped slots.
     pub fn iter_mapped(&self) -> impl Iterator<Item = (u32, u64, PageState)> + '_ {
-        self.tags.iter().enumerate().filter_map(move |(i, &t)| {
-            (t != TAG_NONE).then(|| (i as u32, t, self.states[i]))
-        })
+        self.tags.iter().enumerate().filter(|&(_i, &t)| t != TAG_NONE).map(|(i, &t)| (i as u32, t, self.states[i]))
     }
 
     /// Free slots remaining (whole cache).
@@ -430,7 +428,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(c.lookup(1), None);
-        assert_eq!(c.lookup(0).is_some(), true);
+        assert!(c.lookup(0).is_some());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use kdd_util::units::ByteSize;
 use serde::{Deserialize, Serialize};
 
 /// Cumulative counters for one policy run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Read requests that hit.
     pub read_hits: u64,
@@ -38,6 +38,17 @@ pub struct CacheStats {
     pub parity_updates: u64,
     /// Cleaning passes run.
     pub cleanings: u64,
+    /// Device faults observed by the engine (failed reads/writes of any
+    /// kind, before retry or fallback).
+    pub faults_observed: u64,
+    /// Operations retried after a transient device fault.
+    pub fault_retries: u64,
+    /// Requests served by falling back to pass-through RAID after a
+    /// persistent SSD fault.
+    pub fault_fallbacks: u64,
+    /// Torn/corrupt metadata log pages detected (and healed from the
+    /// NVRAM in-flight copy) during power-failure recovery.
+    pub torn_pages_detected: u64,
 }
 
 impl CacheStats {

@@ -6,6 +6,7 @@
 //! kddtool sim --workload fin1 --scale 200 --policy kdd-25 --cache-frac 0.15
 //! kddtool replay --workload hm0 --scale 200 --policy all
 //! kddtool fio --read-rate 0.25 --scale 1024 --policy all
+//! kddtool faults --plan "ssd@120:transient,disk1@50:drop,any@900:power"
 //! ```
 
 mod cmd;
@@ -29,6 +30,7 @@ fn main() {
         "sim" => cmd::sim(&opts),
         "replay" => cmd::replay(&opts),
         "fio" => cmd::fio(&opts),
+        "faults" => cmd::faults(&opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -63,6 +65,9 @@ commands:
               same selectors as sim
   fio         closed-loop Zipf load (Figures 10/11 style)
               --read-rate F  --scale N  --policy ...
+  faults      fault-injection drill on the full engine (RPO-0 check)
+              --plan \"ssd@120:transient,disk1@50:drop,any@900:power\"
+              or --ops N --faults K for a seeded random plan
 
 common:       --seed N (default 42)"
     );

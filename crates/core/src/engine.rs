@@ -26,7 +26,8 @@
 use crate::config::KddConfig;
 use crate::metalog::{CommitBatch, LogEntry, MetaLog};
 use crate::staging::StagingBuffer;
-use kdd_blockdev::error::DevError;
+use kdd_blockdev::error::{DevError, FaultDomain};
+use kdd_blockdev::fault::FaultInjector;
 use kdd_blockdev::nvram::Nvram;
 use kdd_blockdev::ssd::SsdDevice;
 use kdd_cache::policies::PendingRows;
@@ -35,7 +36,7 @@ use kdd_cache::stats::CacheStats;
 use kdd_delta::codec;
 use kdd_delta::xor::xor_into;
 use kdd_raid::array::{RaidArray, RaidError};
-use kdd_util::hash::FastMap;
+use kdd_util::hash::{crc32_update, FastMap};
 use kdd_util::units::SimTime;
 
 /// Flat service time charged per member-disk operation.
@@ -133,6 +134,26 @@ impl LogEntry for MapEntry {
 /// Serialised entry size on flash.
 const ENTRY_BYTES: usize = 22;
 
+/// Metadata page header: `[count: u16][seq: u64][crc: u32]`. The CRC
+/// covers the whole page except its own field, so a torn or corrupt log
+/// page is detected during the recovery scan rather than silently decoded.
+const META_HDR: usize = 14;
+
+/// CRC-32 of a metadata page, skipping the CRC field itself.
+fn meta_page_crc(page: &[u8]) -> u32 {
+    !crc32_update(crc32_update(!0, &page[..10]), &page[META_HDR..])
+}
+
+/// How the engine is currently serving I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Caching through the SSD (the normal KDD path).
+    Normal,
+    /// The SSD suffered a persistent fault and has no working replacement:
+    /// requests pass straight through to the RAID array.
+    PassThrough,
+}
+
 impl MapEntry {
     fn encode(self) -> [u8; ENTRY_BYTES] {
         let mut b = [0u8; ENTRY_BYTES];
@@ -206,6 +227,8 @@ pub struct KddEngine {
     pending_rows: PendingRows,
     stats: CacheStats,
     meta_pages: u64,
+    injector: Option<FaultInjector>,
+    mode: EngineMode,
 }
 
 impl KddEngine {
@@ -228,23 +251,43 @@ impl KddEngine {
             chunk_pages: raid.layout().chunk_pages,
             data_disks: raid.layout().data_disks() as u64,
         };
-        let epp = (config.geometry.page_size as usize - 10) / ENTRY_BYTES;
+        let epp = (config.geometry.page_size as usize - META_HDR) / ENTRY_BYTES;
+        let mut metalog = MetaLog::new(meta_pages, epp);
+        // Keep unconfirmed commits in NVRAM so recovery can redo a torn
+        // tail page instead of failing on it.
+        metalog.enable_inflight_tracking();
         Ok(KddEngine {
             cache: SetAssocCache::new_grouped(config.geometry, grouping),
             nv: Nvram::new(
                 NvState { staging: StagingBuffer::new(config.staging_bytes) },
                 config.staging_bytes as u64 * 2,
             ),
-            metalog: MetaLog::new(meta_pages, epp),
+            metalog,
             delta_loc: FastMap::default(),
             dez: FastMap::default(),
             pending_rows: PendingRows::default(),
             stats: CacheStats::default(),
             meta_pages,
+            injector: None,
+            mode: EngineMode::Normal,
             config,
             ssd,
             raid,
         })
+    }
+
+    /// Route every SSD and RAID-member I/O through `injector`, and let the
+    /// engine consult it for retry/fallback decisions.
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector) {
+        self.ssd.attach_injector(injector.clone());
+        self.raid.attach_injector(injector.clone());
+        self.injector = Some(injector);
+    }
+
+    /// Current serving mode (normal caching vs. pass-through after a
+    /// persistent SSD fault).
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// Cumulative cache statistics.
@@ -295,11 +338,16 @@ impl KddEngine {
             page[..2].copy_from_slice(&(batch.entries.len() as u16).to_le_bytes());
             page[2..10].copy_from_slice(&batch.seq.to_le_bytes());
             for (i, e) in batch.entries.iter().enumerate() {
-                let off = 10 + i * ENTRY_BYTES;
+                let off = META_HDR + i * ENTRY_BYTES;
                 page[off..off + ENTRY_BYTES].copy_from_slice(&e.encode());
             }
+            let crc = meta_page_crc(&page);
+            page[10..14].copy_from_slice(&crc.to_le_bytes());
             *t += self.ssd.write_page(batch.slot, &page)?;
             self.stats.ssd_meta_writes += 1;
+            // Only now is the page durable; recovery no longer needs the
+            // NVRAM in-flight copy.
+            self.metalog.confirm(batch.seq);
         }
         Ok(())
     }
@@ -311,20 +359,25 @@ impl KddEngine {
 
     // ---- delta plumbing ---------------------------------------------------
 
+    /// Drop `lba`'s membership in the DEZ page `r` points into, trimming
+    /// the page once its last live delta is gone.
+    fn release_dez_ref(&mut self, lba: u64, r: DeltaRef) -> Result<(), EngineError> {
+        let info = self.dez.get_mut(&r.slot).expect("DEZ accounting broken");
+        info.lbas.remove(&lba);
+        if info.lbas.is_empty() {
+            self.dez.remove(&r.slot);
+            self.ssd.trim_page(self.slot_lpn(r.slot))?;
+            self.cache.free_slot(r.slot);
+        }
+        Ok(())
+    }
+
     fn invalidate_delta(&mut self, lba: u64) -> Result<(), EngineError> {
         match self.delta_loc.remove(&lba) {
             Some(DeltaLoc::Staged) => {
                 self.nv.get_mut().staging.remove(lba);
             }
-            Some(DeltaLoc::Dez(r)) => {
-                let info = self.dez.get_mut(&r.slot).expect("DEZ accounting broken");
-                info.lbas.remove(&lba);
-                if info.lbas.is_empty() {
-                    self.dez.remove(&r.slot);
-                    self.ssd.trim_page(self.slot_lpn(r.slot))?;
-                    self.cache.free_slot(r.slot);
-                }
-            }
+            Some(DeltaLoc::Dez(r)) => self.release_dez_ref(lba, r)?,
             None => {}
         }
         Ok(())
@@ -340,15 +393,19 @@ impl KddEngine {
             return Ok(());
         }
         let ps = self.page_size();
-        let mut queue: std::collections::VecDeque<(u64, Vec<u8>)> =
-            self.nv.get_mut().staging.drain().into();
+        // Snapshot instead of draining: a delta leaves NVRAM only once the
+        // DEZ page holding it is durably on flash and logged, so a crash
+        // mid-commit never loses an acknowledged write.
+        let mut queue: std::collections::VecDeque<(u64, Vec<u8>)> = self
+            .nv
+            .get()
+            .staging
+            .snapshot()
+            .map(|(lba, payload)| (lba, payload.clone()))
+            .collect();
         while !queue.is_empty() {
             let Some(slot) = self.alloc_dez_slot(t)? else {
-                // Fully pinned cache: push the rest back into NVRAM.
-                for (lba, payload) in queue {
-                    self.nv.get_mut().staging.insert(lba, payload);
-                    self.delta_loc.insert(lba, DeltaLoc::Staged);
-                }
+                // Fully pinned cache: the rest simply stays staged.
                 return Ok(());
             };
             // Greedy fill: each delta costs 12B of directory + its bytes.
@@ -385,12 +442,16 @@ impl KddEngine {
             }
             self.dez.insert(slot, info);
             for (lba, r) in refs {
-                self.delta_loc.insert(lba, DeltaLoc::Dez(r));
                 let slot_of = self.cache.lookup(lba).expect("old page must be cached");
+                // Log before dropping the NVRAM copy: if the crash lands
+                // between the two, recovery sees both and the staged copy
+                // (same bytes) simply supersedes the DEZ reference.
                 self.log_entry(
                     MapEntry { lba_raid: lba, slot: slot_of, state: EntryState::Old, dez: Some(r) },
                     t,
                 )?;
+                self.nv.get_mut().staging.remove(lba);
+                self.delta_loc.insert(lba, DeltaLoc::Dez(r));
             }
         }
         Ok(())
@@ -413,10 +474,12 @@ impl KddEngine {
     }
 
     fn evict_clean(&mut self, slot: u32, lba: u64, t: &mut SimTime) -> Result<(), EngineError> {
+        // Tombstone first: recovery must never map a trimmed page.
+        self.log_entry(MapEntry { lba_raid: lba, slot, state: EntryState::Free, dez: None }, t)?;
         self.ssd.trim_page(self.slot_lpn(slot))?;
         self.cache.free_slot(slot);
         self.stats.evictions += 1;
-        self.log_entry(MapEntry { lba_raid: lba, slot, state: EntryState::Free, dez: None }, t)
+        Ok(())
     }
 
     /// Fetch the staged or committed compressed delta for an *old* page.
@@ -456,8 +519,130 @@ impl KddEngine {
 
     // ---- public I/O -------------------------------------------------------
 
+    /// The device fault underlying an engine error, if any.
+    fn fault_dev(e: &EngineError) -> Option<&DevError> {
+        match e {
+            EngineError::Dev(d) => Some(d),
+            EngineError::Raid(RaidError::Dev(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Fall back after a persistent SSD fault: resync the RAID (member
+    /// data is always current — RPO 0), swap in a spare, and if the
+    /// injector says even the spare is dead, serve pass-through from RAID.
+    fn ssd_fault_fallback(&mut self) -> Result<(), EngineError> {
+        self.recover_from_ssd_failure()?;
+        let dead = self
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.is_dead(FaultDomain::Ssd));
+        if dead {
+            self.mode = EngineMode::PassThrough;
+        }
+        self.stats.fault_fallbacks += 1;
+        Ok(())
+    }
+
+    /// Whether `e` warrants one retry (a transient device fault). Power
+    /// loss is never retried: the machine is notionally off.
+    fn retryable(e: &EngineError) -> bool {
+        Self::fault_dev(e).is_some_and(|d| d.is_transient())
+    }
+
+    /// Whether `e` is a persistent SSD-side fault that the engine should
+    /// survive by falling back to pass-through RAID.
+    fn ssd_persistent(e: &EngineError) -> bool {
+        matches!(
+            Self::fault_dev(e),
+            Some(DevError::Failed { device: FaultDomain::Ssd, transient: false })
+        )
+    }
+
+    /// Whether `e` is a member-disk death. One retry suffices: the array
+    /// folds injector-declared drops into its failure state on entry and
+    /// the retried operation runs degraded (RAID-5/6 reconstruction).
+    fn disk_persistent(e: &EngineError) -> bool {
+        matches!(
+            Self::fault_dev(e),
+            Some(DevError::Failed { device: FaultDomain::Disk(_), transient: false })
+        ) || matches!(e, EngineError::Raid(RaidError::DiskFailed { .. }))
+    }
+
     /// Read one page: `(data, simulated service time)`.
+    ///
+    /// Fault policy: a transient device fault is retried once; a
+    /// persistent SSD fault triggers [`KddEngine::recover_from_ssd_failure`]
+    /// and, when no working spare exists, pass-through mode. Power loss is
+    /// surfaced unchanged — only [`KddEngine::power_cycle`] recovers it.
     pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
+        if self.mode == EngineMode::PassThrough {
+            return self.raid_read(lba);
+        }
+        match self.read_inner(lba) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.stats.faults_observed += 1;
+                if Self::retryable(&e) || Self::disk_persistent(&e) {
+                    self.stats.fault_retries += 1;
+                    self.read_inner(lba)
+                } else if Self::ssd_persistent(&e) {
+                    self.ssd_fault_fallback()?;
+                    if self.mode == EngineMode::PassThrough {
+                        self.raid_read(lba)
+                    } else {
+                        self.read_inner(lba)
+                    }
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Write one page; returns the simulated service time. Same fault
+    /// policy as [`KddEngine::read`].
+    pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
+        if self.mode == EngineMode::PassThrough {
+            return self.raid_write(lba, data);
+        }
+        match self.write_inner(lba, data) {
+            Ok(t) => Ok(t),
+            Err(e) => {
+                self.stats.faults_observed += 1;
+                if Self::retryable(&e) || Self::disk_persistent(&e) {
+                    self.stats.fault_retries += 1;
+                    self.write_inner(lba, data)
+                } else if Self::ssd_persistent(&e) {
+                    self.ssd_fault_fallback()?;
+                    if self.mode == EngineMode::PassThrough {
+                        self.raid_write(lba, data)
+                    } else {
+                        self.write_inner(lba, data)
+                    }
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Pass-through read straight from the RAID array.
+    fn raid_read(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
+        let mut buf = vec![0u8; self.page_size()];
+        let cost = self.raid.read_page(lba, &mut buf)?;
+        self.bump(true, false);
+        Ok((buf, DISK_OP * cost.reads().max(1) as u64))
+    }
+
+    /// Pass-through write straight to the RAID array (full parity update).
+    fn raid_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
+        let cost = self.raid.write_page(lba, data)?;
+        self.bump(false, false);
+        Ok(DISK_OP * 2 * cost.writes().max(1) as u64)
+    }
+
+    fn read_inner(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
         let mut t = SimTime::ZERO;
         let (hit, data) = match self.cache.lookup(lba) {
             Some(slot) => {
@@ -477,8 +662,7 @@ impl KddEngine {
         Ok((data, t))
     }
 
-    /// Write one page; returns the simulated service time.
-    pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
+    fn write_inner(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
         assert_eq!(data.len(), self.page_size(), "writes are page-granular");
         let mut t = SimTime::ZERO;
         let hit = match self.cache.lookup(lba) {
@@ -491,10 +675,6 @@ impl KddEngine {
                 xor_into(&mut delta, data); // base ⊕ new
                 let comp = codec::compress(&delta);
                 t += SimTime::from_micros(30); // compression CPU cost
-                if self.cache.state(slot) == PageState::Clean {
-                    self.cache.set_state(slot, PageState::Old);
-                }
-                self.invalidate_delta(lba)?;
                 // A delta must fit a DEZ page alongside its directory
                 // record; pages that XOR-compress worse than that are
                 // treated as incompressible (full write-through below).
@@ -503,20 +683,49 @@ impl KddEngine {
                 if compressible && !self.nv.get().staging.fits(lba, &comp) {
                     self.commit_staging(&mut t)?;
                 }
-                if compressible && self.nv.get().staging.fits(lba, &comp) {
-                    self.nv.get_mut().staging.insert(lba, comp);
-                    self.delta_loc.insert(lba, DeltaLoc::Staged);
-                    let cost = self.raid.write_no_parity_update(lba, data)?;
-                    t += DISK_OP * cost.writes() as u64;
-                    let row = self.raid.layout().row_of(lba);
-                    self.pending_rows.add(row, lba);
+                // The delta path needs the target member alive: the data
+                // half of "data + delta" lives on exactly that disk. When
+                // it is dead (or dies mid-dispatch), fall through to the
+                // conventional write, whose reconstruct-write stores the
+                // data in the surviving members' parity.
+                let dispatched = if compressible && self.nv.get().staging.fits(lba, &comp) {
+                    // Dispatch the data to the member disk *before*
+                    // touching any NVRAM/volatile state: if the write is
+                    // cut short, the previous delta still matches the
+                    // previous member content and recovery stays
+                    // consistent.
+                    match self.raid.write_no_parity_update(lba, data) {
+                        Ok(cost) => {
+                            t += DISK_OP * cost.writes() as u64;
+                            if self.cache.state(slot) == PageState::Clean {
+                                self.cache.set_state(slot, PageState::Old);
+                            }
+                            // Insert the new delta (coalescing replaces the
+                            // staged one in place) before releasing any
+                            // committed copy, so at every instant one valid
+                            // delta exists.
+                            let old_loc = self.delta_loc.insert(lba, DeltaLoc::Staged);
+                            self.nv.get_mut().staging.insert(lba, comp);
+                            if let Some(DeltaLoc::Dez(r)) = old_loc {
+                                self.release_dez_ref(lba, r)?;
+                            }
+                            let row = self.raid.layout().row_of(lba);
+                            self.pending_rows.add(row, lba);
+                            true
+                        }
+                        Err(RaidError::DiskFailed { .. })
+                        | Err(RaidError::Dev(DevError::Failed { transient: false, .. })) => false,
+                        Err(e) => return Err(e.into()),
+                    }
                 } else {
+                    false
+                };
+                if !dispatched {
                     // Incompressible delta or fully pinned cache: fall
                     // back to a conventional parity write. Detach this
                     // page from the pending set first (its delta is gone),
                     // resolve any *other* pending deltas of the row, then
                     // write through.
-                    self.cache.set_state(slot, PageState::Clean);
                     let row = self.raid.layout().row_of(lba);
                     let mut rest = self.pending_rows.take_row(row);
                     rest.retain(|&l| l != lba);
@@ -529,8 +738,18 @@ impl KddEngine {
                     // (its parity step is skipped once staleness cleared).
                     let cost = self.raid.write_page(lba, data)?;
                     t += DISK_OP * 2 * cost.writes().max(1) as u64;
-                    t += self.ssd.write_page(self.slot_lpn(slot), data)?;
-                    self.stats.ssd_data_writes += 1;
+                    // Tombstone the old mapping before reclaiming its
+                    // flash copies, then re-insert the new version clean.
+                    // A crash in between leaves the lba uncached with the
+                    // data already safe on RAID.
+                    self.log_entry(
+                        MapEntry { lba_raid: lba, slot, state: EntryState::Free, dez: None },
+                        &mut t,
+                    )?;
+                    self.invalidate_delta(lba)?;
+                    self.ssd.trim_page(self.slot_lpn(slot))?;
+                    self.cache.free_slot(slot);
+                    self.fill_clean(lba, data, &mut t)?;
                     self.clean_row(row, &mut t)?;
                 }
                 self.maybe_clean(&mut t)?;
@@ -792,23 +1011,37 @@ impl KddEngine {
                 }
                 let refs: Vec<(usize, &[u8])> =
                     deltas.iter().map(|(d, v)| (*d, v.as_slice())).collect();
-                let cost = self.raid.parity_update_rmw(row, &refs)?;
+                let cost = match self.raid.parity_update_rmw(row, &refs) {
+                    Ok(c) => c,
+                    // The parity member of this row is dead, so there is
+                    // nothing to fold deltas into. Resync instead: it
+                    // recomputes from the live data members (all current —
+                    // the deltas' data halves were dispatched at write
+                    // time), skips the dead disk, and clears the stale
+                    // mark so a later rebuild can re-derive the parity.
+                    Err(RaidError::DiskFailed { .. }) => self.raid.resync(Some(&[row]))?,
+                    Err(e) => return Err(e.into()),
+                };
                 *t += DISK_OP * cost.ops.len() as u64;
             }
             self.stats.parity_updates += 1;
         }
         // Reclaim: free old pages, invalidate deltas (§III-D's "second
-        // scheme").
+        // scheme"). The tombstone is logged *before* anything is trimmed,
+        // so a crash mid-reclaim can only leak flash pages, never leave
+        // the log pointing at reclaimed ones.
         for lba in self.pending_rows.take_row(row) {
-            self.invalidate_delta(lba)?;
             if let Some(slot) = self.cache.lookup(lba) {
                 debug_assert_eq!(self.cache.state(slot), PageState::Old);
-                self.ssd.trim_page(self.slot_lpn(slot))?;
-                self.cache.free_slot(slot);
                 self.log_entry(
                     MapEntry { lba_raid: lba, slot, state: EntryState::Free, dez: None },
                     t,
                 )?;
+                self.invalidate_delta(lba)?;
+                self.ssd.trim_page(self.slot_lpn(slot))?;
+                self.cache.free_slot(slot);
+            } else {
+                self.invalidate_delta(lba)?;
             }
         }
         Ok(())
@@ -832,35 +1065,77 @@ impl KddEngine {
     /// metadata-log pages *read back from flash* between the NVRAM head
     /// and tail counters, then patched with the NVRAM metadata buffer and
     /// the NVRAM staging buffer.
-    pub fn power_cycle(self) -> Result<KddEngine, EngineError> {
+    pub fn power_cycle(mut self) -> Result<KddEngine, EngineError> {
+        // Power is back: clear any injected power-loss state first, or the
+        // recovery reads below would fail too.
+        if let Some(inj) = &self.injector {
+            inj.restore_power();
+        }
         let config = self.config;
         let meta_pages = self.meta_pages;
         let ps = config.geometry.page_size as usize;
+        let epp = (ps - META_HDR) / ENTRY_BYTES;
 
-        // 1. Flash replay between the NVRAM-preserved counters.
+        // 1. Flash replay between the NVRAM-preserved counters. A page
+        //    that is torn, corrupt, or missing is tolerated — and redone
+        //    from the NVRAM in-flight copy — exactly when its commit was
+        //    never confirmed durable; anything else is real corruption.
         let (head, tail) = self.metalog.counters();
+        let inflight: FastMap<u64, CommitBatch<MapEntry>> = self
+            .metalog
+            .unconfirmed()
+            .iter()
+            .map(|b| (b.seq, b.clone()))
+            .collect();
+        let mut torn_detected = 0u64;
+        let mut heal: Vec<CommitBatch<MapEntry>> = Vec::new();
         let mut recovered: FastMap<u64, MapEntry> = FastMap::default();
         for seq in head..tail {
             let slot = seq % meta_pages;
             let mut page = vec![0u8; ps];
-            self.ssd.read_page(slot, &mut page)?;
-            let count = u16::from_le_bytes(page[..2].try_into().unwrap()) as usize;
-            let page_seq = u64::from_le_bytes(page[2..10].try_into().unwrap());
-            if page_seq != seq {
+            let valid = match self.ssd.read_page(slot, &mut page) {
+                Ok(_) => {
+                    let count = u16::from_le_bytes(page[..2].try_into().unwrap()) as usize;
+                    let page_seq = u64::from_le_bytes(page[2..10].try_into().unwrap());
+                    let crc = u32::from_le_bytes(page[10..14].try_into().unwrap());
+                    count <= epp && page_seq == seq && crc == meta_page_crc(&page)
+                }
+                // The tail page of an unconfirmed commit may never have
+                // been written at all.
+                Err(DevError::Unmapped { .. }) => false,
+                Err(e) => return Err(e.into()),
+            };
+            let entries: Vec<MapEntry> = if valid {
+                let count = u16::from_le_bytes(page[..2].try_into().unwrap()) as usize;
+                (0..count)
+                    .map(|i| {
+                        let off = META_HDR + i * ENTRY_BYTES;
+                        MapEntry::decode(&page[off..off + ENTRY_BYTES])
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| EngineError::Layout("corrupt metadata entry".into()))?
+            } else if let Some(batch) = inflight.get(&seq) {
+                torn_detected += 1;
+                heal.push(batch.clone());
+                batch.entries.clone()
+            } else {
                 return Err(EngineError::Layout(format!(
-                    "metadata page {slot} holds seq {page_seq}, expected {seq}"
+                    "metadata page {slot} (seq {seq}) torn or corrupt with no in-flight copy"
                 )));
-            }
-            for i in 0..count {
-                let off = 10 + i * ENTRY_BYTES;
-                let e = MapEntry::decode(&page[off..off + ENTRY_BYTES])
-                    .ok_or_else(|| EngineError::Layout("corrupt metadata entry".into()))?;
+            };
+            for e in entries {
                 if e.is_tombstone() {
                     recovered.remove(&e.key());
                 } else {
                     recovered.insert(e.key(), e);
                 }
             }
+        }
+        // Redo the torn/lost pages from NVRAM so the flash log is whole
+        // again before normal operation resumes.
+        if !heal.is_empty() {
+            let mut t = SimTime::ZERO;
+            self.persist_batches(heal, &mut t)?;
         }
         // 2. Apply the NVRAM metadata buffer (newer than anything logged).
         for e in self.metalog.buffered_snapshot() {
@@ -901,14 +1176,19 @@ impl KddEngine {
         //    and imply the page is old with pending parity.
         let staged: Vec<u64> = self.nv.get().staging.snapshot().map(|(l, _)| l).collect();
         for lba in staged {
+            let Some(slot) = cache.lookup(lba) else {
+                // The mapping was tombstoned (an incompressible
+                // write-through or reclaim crashed between its log entry
+                // and the NVRAM cleanup): RAID already holds the current
+                // data, so the orphan delta is dead — drop it.
+                self.nv.get_mut().staging.remove(lba);
+                continue;
+            };
             if let Some(DeltaLoc::Dez(r)) = delta_loc.get(&lba).copied() {
                 if let Some(info) = dez.get_mut(&r.slot) {
                     info.lbas.remove(&lba);
                 }
             }
-            let Some(slot) = cache.lookup(lba) else {
-                return Err(EngineError::Layout(format!("staged delta for uncached page {lba}")));
-            };
             delta_loc.insert(lba, DeltaLoc::Staged);
             if cache.state(slot) != PageState::Old {
                 cache.set_state(slot, PageState::Old);
@@ -916,18 +1196,85 @@ impl KddEngine {
             pending_rows.add(self.raid.layout().row_of(lba), lba);
         }
 
+        // 5. Rows whose parity update was in flight when power failed are
+        //    re-synchronised (§III-E1: "the parity of these rows is
+        //    re-synchronized"). The crash may have interrupted a member
+        //    write after its delta staging (or vice versa), so the cache
+        //    view — which is what was acknowledged — is first written back
+        //    to the members; the resync then recomputes parity over that.
+        //    This also restores the delta-RMW invariant that a cached base
+        //    equals the member content at the last parity sync.
+        //    If the array is *also* degraded (a member died before the
+        //    cut), rows with a data member on the dead disk cannot be
+        //    written back or resynced here; they stay stale — their
+        //    acknowledged data lives in the cache (base ⊕ delta), the
+        //    array refuses unsafe degraded reads of stale rows, and the
+        //    next clean/rebuild repairs them via delta-RMW.
+        let stale: Vec<u64> = self.raid.stale_rows().collect();
+        let failed = self.raid.failed_disks();
+        let mut resyncable: Vec<u64> = Vec::new();
+        for &row in &stale {
+            let degraded = self
+                .raid
+                .layout()
+                .row_lpns(row)
+                .iter()
+                .any(|&l| failed.contains(&self.raid.layout().locate(l).disk));
+            if !degraded {
+                resyncable.push(row);
+            }
+            for lba in self.raid.layout().row_lpns(row) {
+                if failed.contains(&self.raid.layout().locate(lba).disk) {
+                    continue;
+                }
+                let Some(slot) = cache.lookup(lba) else { continue };
+                let mut data = vec![0u8; ps];
+                self.ssd.read_page(self.slot_lpn(slot), &mut data)?;
+                if cache.state(slot) == PageState::Old {
+                    let comp = match delta_loc.get(&lba) {
+                        Some(DeltaLoc::Staged) => self
+                            .nv
+                            .get()
+                            .staging
+                            .get(lba)
+                            .expect("staged delta index broken")
+                            .clone(),
+                        Some(DeltaLoc::Dez(r)) => {
+                            let mut dpage = vec![0u8; ps];
+                            self.ssd.read_page(self.slot_lpn(r.slot), &mut dpage)?;
+                            dpage[r.off as usize..r.off as usize + r.len as usize].to_vec()
+                        }
+                        None => {
+                            return Err(EngineError::Layout(format!(
+                                "old page {lba} has no delta after recovery"
+                            )))
+                        }
+                    };
+                    let delta = codec::decompress(&comp)?;
+                    xor_into(&mut data, &delta);
+                }
+                self.raid.write_no_parity_update(lba, &data)?;
+            }
+        }
+        let mut raid = self.raid;
+        if !resyncable.is_empty() {
+            raid.resync(Some(&resyncable))?;
+        }
+
         Ok(KddEngine {
             config,
             ssd: self.ssd,
-            raid: self.raid,
+            raid,
             cache,
             nv: self.nv,
             metalog: self.metalog,
             delta_loc,
             dez,
             pending_rows,
-            stats: CacheStats::default(),
+            stats: CacheStats { torn_pages_detected: torn_detected, ..CacheStats::default() },
             meta_pages,
+            injector: self.injector,
+            mode: self.mode,
         })
     }
 
@@ -947,7 +1294,8 @@ impl KddEngine {
         };
         self.cache = SetAssocCache::new_grouped(self.config.geometry, grouping);
         self.nv.get_mut().staging.drain();
-        self.metalog = MetaLog::new(self.meta_pages, (self.page_size() - 10) / ENTRY_BYTES);
+        self.metalog = MetaLog::new(self.meta_pages, (self.page_size() - META_HDR) / ENTRY_BYTES);
+        self.metalog.enable_inflight_tracking();
         self.delta_loc.clear();
         self.dez.clear();
         self.pending_rows = PendingRows::default();

@@ -112,6 +112,12 @@ pub struct MetaLog<E: LogEntry> {
     pages_written: u64,
     entries_pushed: u64,
     gc_reclaims: u64,
+    /// When enabled, committed-but-unconfirmed batches are retained (an
+    /// NVRAM-resident redo list) so recovery can tolerate a torn or lost
+    /// tail page: the caller confirms each batch once the flash write
+    /// completed.
+    track_inflight: bool,
+    inflight: Vec<CommitBatch<E>>,
 }
 
 impl<E: LogEntry> MetaLog<E> {
@@ -137,7 +143,30 @@ impl<E: LogEntry> MetaLog<E> {
             pages_written: 0,
             entries_pushed: 0,
             gc_reclaims: 0,
+            track_inflight: false,
+            inflight: Vec::new(),
         }
+    }
+
+    /// Keep an NVRAM-resident copy of every [`CommitBatch`] until the
+    /// caller [`MetaLog::confirm`]s that the flash write completed. A crash
+    /// between commit and confirm then leaves the batch recoverable even if
+    /// the flash page is torn, corrupt, or was never written at all.
+    pub fn enable_inflight_tracking(&mut self) {
+        self.track_inflight = true;
+    }
+
+    /// Confirm that the page with sequence number `seq` is durably on
+    /// flash; drops its in-flight copy.
+    pub fn confirm(&mut self, seq: u64) {
+        self.inflight.retain(|b| b.seq != seq);
+    }
+
+    /// Committed batches not yet confirmed durable, oldest first. Recovery
+    /// consults this to decide whether a bad flash page is a tolerable torn
+    /// tail (redo from here) or real corruption (hard error).
+    pub fn unconfirmed(&self) -> &[CommitBatch<E>] {
+        &self.inflight
     }
 
     /// Pages in the partition.
@@ -309,7 +338,13 @@ impl<E: LogEntry> MetaLog<E> {
         }
         self.pages.push_back(MetaPage { seq, entries: entries.clone() });
         self.pages_written += 1;
-        out.push(CommitBatch { slot: seq % self.partition_pages, seq, entries });
+        let batch = CommitBatch { slot: seq % self.partition_pages, seq, entries };
+        if self.track_inflight {
+            // Batches GC'd past the head can no longer matter to recovery.
+            self.inflight.retain(|b| b.seq >= self.head);
+            self.inflight.push(batch.clone());
+        }
+        out.push(batch);
     }
 
     /// Oldest-first GC: drop dead entries, reinsert live ones.
@@ -486,6 +521,41 @@ mod tests {
         assert!(tail >= head);
         assert!(tail - head <= 2);
         assert_eq!(log.pages_written(), 10);
+    }
+
+    #[test]
+    fn inflight_disabled_by_default() {
+        let mut log = MetaLog::new(8, 2);
+        log.push(key(1));
+        log.push(key(2)); // commits a page
+        assert!(log.unconfirmed().is_empty());
+    }
+
+    #[test]
+    fn inflight_tracks_until_confirmed() {
+        let mut log = MetaLog::new(8, 2);
+        log.enable_inflight_tracking();
+        log.push(key(1));
+        let commits = log.push(key(2));
+        assert_eq!(commits.len(), 1);
+        assert_eq!(log.unconfirmed().len(), 1);
+        assert_eq!(log.unconfirmed()[0].seq, commits[0].seq);
+        log.confirm(commits[0].seq);
+        assert!(log.unconfirmed().is_empty());
+        // Confirming an unknown seq is a no-op.
+        log.confirm(999);
+    }
+
+    #[test]
+    fn inflight_entries_dropped_once_gc_passes_them() {
+        let mut log = MetaLog::new(2, 1);
+        log.enable_inflight_tracking();
+        for k in 0..10 {
+            log.push(tomb(k)); // never confirmed
+        }
+        let (head, _) = log.counters();
+        assert!(log.unconfirmed().iter().all(|b| b.seq >= head));
+        assert!(log.unconfirmed().len() as u64 <= log.partition_pages() + 1);
     }
 
     #[test]

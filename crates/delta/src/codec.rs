@@ -346,10 +346,10 @@ mod tests {
         roundtrip(&[7]);
         roundtrip(&[0, 7]);
         roundtrip(&[7, 0]);
-        roundtrip(&vec![1u8; 128]); // literal-run boundary
-        roundtrip(&vec![1u8; 129]);
-        roundtrip(&vec![0u8; 128]); // zero-run boundary
-        roundtrip(&vec![0u8; 129]);
+        roundtrip(&[1u8; 128]); // literal-run boundary
+        roundtrip(&[1u8; 129]);
+        roundtrip(&[0u8; 128]); // zero-run boundary
+        roundtrip(&[0u8; 129]);
     }
 
     #[test]
@@ -362,7 +362,7 @@ mod tests {
 
     #[test]
     fn truncated_streams_error() {
-        let c = compress(&vec![9u8; 100]);
+        let c = compress(&[9u8; 100]);
         for cut in 1..c.len().min(8) {
             let r = decompress(&c[..c.len() - cut]);
             // Either an error, or (if the cut happened to land on a token

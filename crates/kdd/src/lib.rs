@@ -69,11 +69,14 @@ pub use kdd_core::{engine, policy};
 
 /// The names most programs need.
 pub mod prelude {
-    pub use kdd_blockdev::{FlashGeometry, FlashTimings, HddModel, SsdDevice};
+    pub use kdd_blockdev::{
+        FaultDomain, FaultInjector, FaultKind, FaultPlan, FlashGeometry, FlashTimings, HddModel,
+        SsdDevice,
+    };
     pub use kdd_cache::policies::{CachePolicy, RaidModel};
     pub use kdd_cache::setassoc::CacheGeometry;
     pub use kdd_cache::stats::CacheStats;
-    pub use kdd_core::engine::KddEngine;
+    pub use kdd_core::engine::{EngineMode, KddEngine};
     pub use kdd_core::{KddConfig, KddPolicy};
     pub use kdd_delta::model::{DeltaSizeModel, FixedDeltaModel, GaussianDeltaModel};
     pub use kdd_raid::{Layout, RaidArray, RaidLevel};

@@ -22,7 +22,8 @@
 
 use crate::gf256;
 use crate::layout::{Layout, RaidLevel};
-use kdd_blockdev::error::DevError;
+use kdd_blockdev::error::{DevError, FaultDomain};
+use kdd_blockdev::fault::FaultInjector;
 use kdd_blockdev::store::{MemStore, PageStore};
 use kdd_util::hash::FastSet;
 use kdd_delta::xor_into;
@@ -162,6 +163,7 @@ pub struct RaidArray {
     disks: Vec<MemStore>,
     stale_rows: FastSet<u64>,
     stats: Vec<DiskStats>,
+    injector: Option<FaultInjector>,
 }
 
 impl RaidArray {
@@ -176,6 +178,28 @@ impl RaidArray {
             disks,
             stale_rows: FastSet::default(),
             stats: vec![DiskStats::default(); layout.disks],
+            injector: None,
+        }
+    }
+
+    /// Route every member-disk I/O through `injector`, member `i` reporting
+    /// itself as [`FaultDomain::Disk`]`(i)`.
+    pub fn attach_injector(&mut self, injector: FaultInjector) {
+        for (i, disk) in self.disks.iter_mut().enumerate() {
+            disk.attach_injector(injector.clone(), FaultDomain::Disk(i as u32));
+        }
+        self.injector = Some(injector);
+    }
+
+    /// Fold injector-declared device drops into the array's failure state so
+    /// subsequent operations take the degraded paths. Called at every public
+    /// entry point; cheap when no injector is attached.
+    fn absorb_faults(&mut self) {
+        let Some(inj) = self.injector.clone() else { return };
+        for d in 0..self.disks.len() {
+            if !self.disks[d].is_failed() && inj.is_dead(FaultDomain::Disk(d as u32)) {
+                self.disks[d].fail();
+            }
         }
     }
 
@@ -219,7 +243,8 @@ impl RaidArray {
         (0..self.disks.len()).filter(|&d| self.disks[d].is_failed()).collect()
     }
 
-    fn check_failures(&self) -> Result<(), RaidError> {
+    fn check_failures(&mut self) -> Result<(), RaidError> {
+        self.absorb_faults();
         let failed = self.failed_disks().len();
         if failed > self.layout.level.parity_count() {
             Err(RaidError::TooManyFailures)
@@ -253,8 +278,19 @@ impl RaidArray {
         let loc = self.layout.locate(lpn);
         let mut cost = RaidCost::default();
         if !self.disks[loc.disk].is_failed() {
-            self.disk_read(loc.disk, loc.disk_page, buf, &mut cost)?;
-            return Ok(cost);
+            match self.disk_read(loc.disk, loc.disk_page, buf, &mut cost) {
+                Ok(()) => return Ok(cost),
+                // The member died under this very read (injected drop or
+                // persistent fault): absorb the failure and reconstruct
+                // below, as a real array would.
+                Err(RaidError::Dev(e)) if matches!(e, DevError::Failed { .. }) && !e.is_transient() => {
+                    self.check_failures()?;
+                    if !self.disks[loc.disk].is_failed() {
+                        return Err(RaidError::Dev(e));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         // Degraded: reconstruct this page.
         if self.layout.level == RaidLevel::Raid0 {
@@ -317,6 +353,12 @@ impl RaidArray {
             (false, false) => return Err(RaidError::TooManyFailures),
         };
 
+        // Crash window: from here until the final member write the row's
+        // data and parity may disagree. Mark it stale up front so a power
+        // loss mid-sequence leaves a mark recovery can resync from; the
+        // mark is cleared once the row is consistent again.
+        self.stale_rows.insert(loc.row);
+
         let ps = self.page_size as usize;
         if use_rmw {
             let mut old = vec![0u8; ps];
@@ -368,13 +410,10 @@ impl RaidArray {
         if !target_failed {
             self.disk_write(loc.disk, loc.disk_page, data, &mut cost)?;
         }
-        // A full-parity write repairs staleness for this row only if it
-        // was not stale; if the row *was* stale the parity is still wrong
-        // for the other members, so keep the mark (reconstruct-write
-        // clears it because it recomputes from all members).
-        if !use_rmw {
-            self.stale_rows.remove(&loc.row);
-        }
+        // Every write completed: data and parity agree again. (RMW was only
+        // chosen on a previously-clean row; reconstruct-write recomputes
+        // parity from all members, repairing any prior staleness too.)
+        self.stale_rows.remove(&loc.row);
         Ok(cost)
     }
 
@@ -523,6 +562,11 @@ impl RaidArray {
         }
         for &d in &failed {
             self.disks[d].replace();
+            if let Some(inj) = &self.injector {
+                // A drop is cured by the replacement; a persistent fault
+                // immediately re-fails the new disk on its next absorb.
+                inj.on_replace(FaultDomain::Disk(d as u32));
+            }
         }
         let mut cost = RaidCost::default();
         // Reconstruct row by row; the replacement disks are zero-filled so
@@ -578,6 +622,7 @@ impl RaidArray {
 
         // Read every surviving data member once.
         let mut data: Vec<Option<Vec<u8>>> = vec![None; dd];
+        #[allow(clippy::needless_range_loop)]
         for d in 0..dd {
             if !missing_data.contains(&d) {
                 let disk = self.layout.data_disk(stripe, d);
@@ -1009,6 +1054,63 @@ mod tests {
         a.rebuild().unwrap();
         a.read_page(7, &mut buf).unwrap();
         assert_eq!(buf, page(0x99, ps));
+    }
+
+    #[test]
+    fn injected_drop_degrades_then_rebuilds() {
+        use kdd_blockdev::fault::FaultPlan;
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        let inj = FaultInjector::new(FaultPlan::new().drop_device(0, FaultDomain::Disk(2)));
+        a.attach_injector(inj.clone());
+
+        // The very next op aimed at disk 2 kills it; the array absorbs the
+        // failure and reconstructs from redundancy.
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..a.capacity_pages() {
+            a.read_page(lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(lpn as u8, ps), "lpn {lpn}");
+        }
+        assert_eq!(a.failed_disks(), vec![2]);
+        assert_eq!(inj.counters().device_drops, 1);
+
+        a.rebuild().unwrap();
+        assert!(a.failed_disks().is_empty());
+        assert!(!inj.is_dead(FaultDomain::Disk(2)));
+        for lpn in 0..a.capacity_pages() {
+            a.read_page(lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(lpn as u8, ps));
+        }
+    }
+
+    #[test]
+    fn power_loss_mid_write_leaves_row_stale_for_resync() {
+        use kdd_blockdev::fault::FaultPlan;
+        let mut a = r5();
+        let ps = 256;
+        for lpn in 0..a.capacity_pages() {
+            a.write_page(lpn, &page(lpn as u8, ps)).unwrap();
+        }
+        // An RMW small write issues read(data), read(P), write(P),
+        // write(data). Cut power at the parity write: data and parity
+        // now disagree and the op never completed.
+        let inj = FaultInjector::new(FaultPlan::new().power_loss(2));
+        a.attach_injector(inj.clone());
+        let err = a.write_page(0, &page(0xEE, ps)).unwrap_err();
+        assert_eq!(err, RaidError::Dev(DevError::PowerLoss));
+        let row = a.layout().row_of(0);
+        assert!(a.is_stale(row), "interrupted write must leave a stale mark");
+
+        // "Reboot": power returns, recovery resyncs the marked row.
+        inj.restore_power();
+        a.resync(Some(&[row])).unwrap();
+        assert!(a.verify_row(row).unwrap());
+        let mut buf = vec![0u8; ps];
+        a.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, page(0, ps), "old data still intact (write never acked)");
     }
 
     #[test]

@@ -353,6 +353,5 @@ mod tests {
         // quantile is a lower bound but must stay within the covered range.
         let q = h.quantile(0.5).unwrap();
         assert!(q >= 1u64 << 39, "q={q}");
-        assert!(q <= u64::MAX);
     }
 }

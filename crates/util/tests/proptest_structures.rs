@@ -37,25 +37,22 @@ proptest! {
         let mut model: VecDeque<usize> = VecDeque::new(); // front = MRU
         for op in &script {
             match op {
-                LruOp::Push(s) if *s < slots => {
-                    if !model.contains(s) {
+                LruOp::Push(s) if *s < slots
+                    && !model.contains(s) => {
                         lru.push_front(*s);
                         model.push_front(*s);
                     }
-                }
-                LruOp::Touch(s) if *s < slots => {
-                    if model.contains(s) {
+                LruOp::Touch(s) if *s < slots
+                    && model.contains(s) => {
                         lru.touch(*s);
                         model.retain(|x| x != s);
                         model.push_front(*s);
                     }
-                }
-                LruOp::Remove(s) if *s < slots => {
-                    if model.contains(s) {
+                LruOp::Remove(s) if *s < slots
+                    && model.contains(s) => {
                         lru.remove(*s);
                         model.retain(|x| x != s);
                     }
-                }
                 LruOp::PopBack => {
                     prop_assert_eq!(lru.pop_back(), model.pop_back());
                 }

@@ -20,7 +20,7 @@ fn build_engine() -> KddEngine {
 }
 
 /// Apply a churny workload leaving plenty of delayed parity behind.
-fn churn(engine: &mut KddEngine, versions: &mut Vec<Vec<u8>>, mutator: &mut PageMutator, rounds: usize) {
+fn churn(engine: &mut KddEngine, versions: &mut [Vec<u8>], mutator: &mut PageMutator, rounds: usize) {
     for _ in 0..rounds {
         for lba in 0..WORKING_SET {
             let next = mutator.mutate(&versions[lba as usize]);
@@ -89,6 +89,46 @@ fn main() {
     );
     assert!(engine.raid().failed_disks().is_empty());
     verify_all(&mut engine, &versions, "HDD rebuild");
+
+    // ---------------- drill 4: injected compound faults -------------------
+    // The same scenarios, but nothing is polite this time: a deterministic
+    // fault plan kills devices mid-I/O at exact operation indexes.
+    println!("drill 4: injected fault plan (transient + disk drop + power cut)");
+    let mut engine = build_engine();
+    let plan = FaultPlan::new()
+        .transient(200, FaultDomain::Ssd)
+        .transient(450, FaultDomain::Disk(0))
+        .drop_device(900, FaultDomain::Disk(2))
+        .power_loss(2200);
+    let injector = FaultInjector::new(plan);
+    engine.attach_fault_injector(injector.clone());
+    let mut acked = 0u64;
+    for round in 0..6 {
+        for lba in 0..WORKING_SET {
+            let next = mutator.mutate(&versions[lba as usize]);
+            match engine.write(lba, &next) {
+                Ok(_) => {
+                    versions[lba as usize] = next;
+                    acked += 1;
+                }
+                Err(e) if injector.power_lost() => {
+                    println!("  power cut in round {round} ({e}); recovering");
+                    engine = engine.power_cycle().expect("recovery under injected faults");
+                }
+                Err(e) => panic!("unexpected error in round {round}: {e}"),
+            }
+        }
+    }
+    let c = injector.counters();
+    println!(
+        "  {} faults fired ({} transient, {} drops, {} power); {} writes acked",
+        c.injected, c.transient, c.device_drops, c.power_losses, acked
+    );
+    if let Some(&disk) = engine.raid().failed_disks().first() {
+        engine.recover_from_hdd_failure(disk).expect("rebuild dropped member");
+        println!("  rebuilt dropped member disk {disk}");
+    }
+    verify_all(&mut engine, &versions, "injected fault plan");
 
     println!("\nall drills passed: RPO 0 maintained through every failure");
 }

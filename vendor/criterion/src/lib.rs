@@ -1,0 +1,186 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides just enough of the criterion API for `cargo bench` to compile and
+//! produce rough wall-clock numbers: benchmark groups, `iter`/`iter_batched`,
+//! throughput annotation, and the `criterion_group!`/`criterion_main!`
+//! macros. There is no statistical analysis or history — each benchmark runs
+//! a fixed number of timed iterations and prints the mean.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher { iters, elapsed_ns: 0 }
+    }
+
+    /// Time `routine`, called `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0u128;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+const DEFAULT_ITERS: u64 = 10;
+
+fn report(name: &str, iters: u64, elapsed_ns: u128, throughput: Option<Throughput>) {
+    let per_iter = if iters == 0 { 0 } else { elapsed_ns / iters as u128 };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if per_iter > 0 => {
+            let mbps = b as f64 * 1e3 / per_iter as f64;
+            format!("  {mbps:.1} MB/s")
+        }
+        Some(Throughput::Elements(e)) if per_iter > 0 => {
+            let eps = e as f64 * 1e9 / per_iter as f64;
+            format!("  {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<40} {per_iter:>12} ns/iter{rate}");
+}
+
+/// Group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (mapped directly to iterations in this stub).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n.max(1) as u64;
+        self
+    }
+
+    /// Annotate the group's throughput per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), self.iters, b.elapsed_ns, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op in this stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: DEFAULT_ITERS,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(DEFAULT_ITERS);
+        f(&mut b);
+        report(id, DEFAULT_ITERS, b.elapsed_ns, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_routines() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut count = 0u64;
+        g.sample_size(5).throughput(Throughput::Bytes(8)).bench_function("count", |b| {
+            b.iter(|| count += 1)
+        });
+        g.finish();
+        assert_eq!(count, 5);
+
+        let mut sum = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| sum += x, BatchSize::SmallInput)
+        });
+        assert_eq!(sum, 2 * super::DEFAULT_ITERS);
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The air-gapped build cannot fetch the real crate, so `par_iter()` here is
+//! a sequential `slice::iter()`. Everything downstream (`map`, `collect`,
+//! `sum`, ...) is the std `Iterator` API, so call sites compile unchanged and
+//! produce identical results — just without the parallel speed-up.
+
+#![warn(missing_docs)]
+
+/// Parallel-iterator entry points (sequential in this stub).
+pub mod prelude {
+    /// Borrowing "parallel" iteration: `par_iter()` over a collection.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The produced item type.
+        type Item: 'data;
+        /// The concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate sequentially (stub for rayon's parallel iteration).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = core::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = core::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+        type Item = &'data T;
+        type Iter = core::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let arr = [1u64, 2, 3];
+        assert_eq!(arr.par_iter().sum::<u64>(), 6);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no network and an empty cargo
+//! registry, so real serde cannot be fetched. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a structural marker (no `#[serde]`
+//! attributes, no generic serializers), so marker traits with blanket
+//! implementations are sufficient to keep every bound satisfied.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Subset of `serde::de` re-exports used by downstream bounds.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in an air-gapped container with an empty cargo
+//! registry, so the real `serde_derive` (and its `syn`/`quote` tree) is
+//! unavailable. The workspace only ever uses bare
+//! `#[derive(Serialize, Deserialize)]` as a marker — the companion `serde`
+//! stub provides blanket implementations — so these derives can simply
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the `serde` stub's
+/// blanket impl already covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; the `serde` stub's
+/// blanket impl already covers every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

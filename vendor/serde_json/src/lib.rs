@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The real crate is unavailable in this air-gapped build. The workspace uses
+//! `to_string_pretty` purely to dump result rows for humans, so rendering the
+//! value's `Debug` representation (which for the row structs is close to JSON
+//! and equally greppable) keeps the tooling functional without a serializer.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`. The Debug-based encoder is
+/// infallible, so this is never constructed, but callers `expect(..)` on it.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `value` with the alternate (`{:#?}`) Debug formatter.
+///
+/// Not JSON, but structurally equivalent for the plain structs this
+/// workspace serialises; documented as a stub in `DESIGN.md`.
+pub fn to_string_pretty<T: fmt::Debug + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:#?}"))
+}
+
+/// Render `value` with the compact Debug formatter.
+pub fn to_string<T: fmt::Debug + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_debug_alternate() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string_pretty(&v).unwrap(), format!("{v:#?}"));
+        assert_eq!(to_string(&v).unwrap(), "[1, 2, 3]");
+    }
+}
