@@ -11,14 +11,28 @@
 
 use kdd_bench::{
     ablation_admission, ablation_desmodel, ablation_metalog, ablation_raid6, ablation_reclaim,
-    ablation_setmap, ablation_zoning, fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9,
-    print_rows, table1, table2, ExpConfig, Row,
+    ablation_setmap, ablation_zoning, fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, print_rows,
+    table1, table2, ExpConfig, Row,
 };
 
 const ALL: [&str; 17] = [
-    "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2",
-    "ablation_zoning", "ablation_reclaim", "ablation_metalog", "ablation_setmap",
-    "ablation_admission", "ablation_raid6", "ablation_desmodel",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "ablation_zoning",
+    "ablation_reclaim",
+    "ablation_metalog",
+    "ablation_setmap",
+    "ablation_admission",
+    "ablation_raid6",
+    "ablation_desmodel",
 ];
 
 fn run(name: &str, cfg: &ExpConfig) -> Vec<Row> {
@@ -56,13 +70,10 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                cfg.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale needs a positive integer");
-                        std::process::exit(2);
-                    })
+                cfg.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs a positive integer");
+                    std::process::exit(2);
+                })
             }
             "--seed" => {
                 cfg.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42);

@@ -7,6 +7,11 @@
 //! the internal parallelism KDD exploits to read data+delta concurrently
 //! (§IV-B2).
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd_util::units::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -35,8 +40,8 @@ impl FlashGeometry {
         let pages_per_block = 128u32;
         let block_bytes = pages_per_block as u64 * page_size as u64;
         let blocks_needed = capacity_bytes.div_ceil(block_bytes);
-        let blocks_per_die = (blocks_needed.div_ceil(channels as u64 * dies_per_channel as u64))
-            .max(4) as u32;
+        let blocks_per_die =
+            (blocks_needed.div_ceil(channels as u64 * dies_per_channel as u64)).max(4) as u32;
         FlashGeometry { channels, dies_per_channel, blocks_per_die, pages_per_block, page_size }
     }
 

@@ -46,7 +46,10 @@ impl<T> Nvram<T> {
     /// does not fit (caller must flush and [`Nvram::release`] first).
     pub fn reserve(&mut self, bytes: u64) -> Result<(), DevError> {
         if self.used_bytes + bytes > self.capacity_bytes {
-            return Err(DevError::NvramFull { requested: bytes, available: self.available_bytes() });
+            return Err(DevError::NvramFull {
+                requested: bytes,
+                available: self.available_bytes(),
+            });
         }
         self.used_bytes += bytes;
         Ok(())

@@ -208,11 +208,12 @@ mod tests {
     fn injector_gates_io() {
         use crate::fault::FaultPlan;
         // op 0: transient write failure; op 2: torn write keeping 2 new bytes.
-        let inj = FaultInjector::new(
-            FaultPlan::new()
-                .transient(0, FaultDomain::Disk(1))
-                .torn_write(2, FaultDomain::Disk(1), 2),
-        );
+        let inj =
+            FaultInjector::new(FaultPlan::new().transient(0, FaultDomain::Disk(1)).torn_write(
+                2,
+                FaultDomain::Disk(1),
+                2,
+            ));
         let mut s = MemStore::new(8, 4);
         s.attach_injector(inj.clone(), FaultDomain::Disk(1));
         assert_eq!(s.domain(), FaultDomain::Disk(1));

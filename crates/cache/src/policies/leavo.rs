@@ -12,6 +12,10 @@
 //! * together these make LeavO write **more** to the SSD than plain
 //!   write-through, wearing the cache faster.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::effects::{AccessOutcome, Effects};
 use crate::nvbuf::MetadataBuffer;
 use crate::policies::{CachePolicy, PendingRows, RaidModel};
@@ -44,8 +48,7 @@ impl LeavO {
     /// Build over `geometry` with stripe-aligned set grouping.
     pub fn new(geometry: CacheGeometry, raid: RaidModel) -> Self {
         let grouping = raid.set_grouping();
-        let clean_trigger_slots =
-            ((geometry.total_pages as f64 * CLEAN_THRESHOLD) as u64).max(4);
+        let clean_trigger_slots = ((geometry.total_pages as f64 * CLEAN_THRESHOLD) as u64).max(4);
         LeavO {
             cache: SetAssocCache::new_grouped(geometry, grouping),
             raid,
@@ -68,11 +71,8 @@ impl LeavO {
         for row in self.pending.row_ids() {
             // Reconstruct-write only if *every* data page of the row is in
             // cache with current content.
-            let reconstruct = self
-                .raid
-                .row_lpns(row)
-                .iter()
-                .all(|&l| self.cache.lookup(l).is_some());
+            let reconstruct =
+                self.raid.row_lpns(row).iter().all(|&l| self.cache.lookup(l).is_some());
             fx += self.raid.parity_update_effects(reconstruct);
             self.stats.parity_updates += 1;
             for lba in self.pending.take_row(row) {
@@ -100,7 +100,13 @@ impl LeavO {
 
     /// Insert with cleaning fallback; returns false if the page had to
     /// bypass the cache entirely.
-    fn insert_or_bypass(&mut self, lba: u64, state: PageState, fx: &mut Effects, bg: &mut Effects) -> bool {
+    fn insert_or_bypass(
+        &mut self,
+        lba: u64,
+        state: PageState,
+        fx: &mut Effects,
+        bg: &mut Effects,
+    ) -> bool {
         for attempt in 0..2 {
             match self.cache.insert(lba, state, |s| s == PageState::Clean) {
                 InsertOutcome::Inserted { .. } => return true,

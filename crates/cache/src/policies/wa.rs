@@ -5,6 +5,10 @@
 //! SSD writes of any policy (Figures 6/8/11's lower envelope) at the cost
 //! of no write acceleration at all.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::effects::{AccessOutcome, Effects};
 use crate::policies::{CachePolicy, RaidModel};
 use crate::setassoc::{CacheGeometry, InsertOutcome, PageState, SetAssocCache};
@@ -23,7 +27,11 @@ impl WriteAround {
     /// Build over `geometry` with stripe-aligned set grouping.
     pub fn new(geometry: CacheGeometry, raid: RaidModel) -> Self {
         let grouping = raid.set_grouping();
-        WriteAround { cache: SetAssocCache::new_grouped(geometry, grouping), raid, stats: CacheStats::default() }
+        WriteAround {
+            cache: SetAssocCache::new_grouped(geometry, grouping),
+            raid,
+            stats: CacheStats::default(),
+        }
     }
 }
 
@@ -45,7 +53,9 @@ impl CachePolicy for WriteAround {
                 match self.cache.insert(lba, PageState::Clean, |s| s == PageState::Clean) {
                     InsertOutcome::Evicted { .. } => self.stats.evictions += 1,
                     InsertOutcome::Inserted { .. } => {}
-                    InsertOutcome::NoRoom => unreachable!("WA pages are always evictable"),
+                    // Impossible while every resident page is Clean; if the
+                    // accounting ever breaks, degrade to a no-fill miss.
+                    InsertOutcome::NoRoom => debug_assert!(false, "WA pages are always evictable"),
                 }
                 fx.ssd_data_writes += 1;
                 false

@@ -5,6 +5,10 @@
 //! update), so an SSD failure loses nothing — but every small write still
 //! pays the parity penalty, and every write is an SSD program.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::effects::{AccessOutcome, Effects};
 use crate::policies::{CachePolicy, RaidModel};
 use crate::setassoc::{CacheGeometry, InsertOutcome, PageState, SetAssocCache};
@@ -24,14 +28,20 @@ impl WriteThrough {
     /// policies share identical set placement.
     pub fn new(geometry: CacheGeometry, raid: RaidModel) -> Self {
         let grouping = raid.set_grouping();
-        WriteThrough { cache: SetAssocCache::new_grouped(geometry, grouping), raid, stats: CacheStats::default() }
+        WriteThrough {
+            cache: SetAssocCache::new_grouped(geometry, grouping),
+            raid,
+            stats: CacheStats::default(),
+        }
     }
 
     fn fill(&mut self, lba: u64, fx: &mut Effects) {
         match self.cache.insert(lba, PageState::Clean, |s| s == PageState::Clean) {
             InsertOutcome::Inserted { .. } => {}
             InsertOutcome::Evicted { .. } => self.stats.evictions += 1,
-            InsertOutcome::NoRoom => unreachable!("WT pages are always evictable"),
+            // Impossible while every resident page is Clean; if the
+            // accounting ever breaks, degrade to a no-fill miss.
+            InsertOutcome::NoRoom => debug_assert!(false, "WT pages are always evictable"),
         }
         fx.ssd_data_writes += 1;
     }

@@ -11,6 +11,11 @@
 //! *unmapped* slots allocated "from the cache set which has the least
 //! number of DEZ pages" so they spread evenly.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd_util::hash::{mix64, FastMap};
 use kdd_util::lru::LruList;
 use serde::{Deserialize, Serialize};
@@ -283,11 +288,15 @@ impl SetAssocCache {
     ) -> InsertOutcome {
         assert!(!self.map.contains_key(&lba), "lba {lba} already cached");
         let set = self.set_of_lba(lba);
-        // Fast path: a free slot.
+        // Fast path: a free slot. If the free count and the scan ever
+        // disagree (an accounting bug), fall through to eviction rather
+        // than panicking mid-insert.
         if self.free_per_set[set] > 0 {
-            let slot = self.find_free_in_set(set).expect("free count said so");
-            self.occupy(set, slot, lba, state);
-            return InsertOutcome::Inserted { slot };
+            if let Some(slot) = self.find_free_in_set(set) {
+                self.occupy(set, slot, lba, state);
+                return InsertOutcome::Inserted { slot };
+            }
+            debug_assert!(false, "free count said so");
         }
         // Evict the LRU page with an evictable state.
         let victim_local = self.lru[set].iter_lru().find(|&l| {
@@ -302,11 +311,7 @@ impl SetAssocCache {
         let victim_state = self.states[slot as usize];
         self.free_slot(slot);
         self.occupy(set, slot, lba, state);
-        InsertOutcome::Evicted {
-            slot,
-            victim_lba,
-            victim_state,
-        }
+        InsertOutcome::Evicted { slot, victim_lba, victim_state }
     }
 
     /// Allocate an *unmapped* slot (a DEZ page) in the set that currently
@@ -315,7 +320,9 @@ impl SetAssocCache {
         let set = (0..self.sets)
             .filter(|&s| self.free_per_set[s] > 0)
             .min_by_key(|&s| self.delta_per_set[s])?;
-        let slot = self.find_free_in_set(set).expect("free count said so");
+        // The filter above guarantees a free slot; if the accounting is
+        // broken, report exhaustion instead of panicking.
+        let slot = self.find_free_in_set(set)?;
         let local = self.local(slot);
         self.states[slot as usize] = PageState::Delta;
         self.lru[set].push_front(local);
@@ -379,7 +386,11 @@ impl SetAssocCache {
 
     /// Iterate `(slot, lba, state)` over all occupied, mapped slots.
     pub fn iter_mapped(&self) -> impl Iterator<Item = (u32, u64, PageState)> + '_ {
-        self.tags.iter().enumerate().filter(|&(_i, &t)| t != TAG_NONE).map(|(i, &t)| (i as u32, t, self.states[i]))
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &t)| t != TAG_NONE)
+            .map(|(i, &t)| (i as u32, t, self.states[i]))
     }
 
     /// Free slots remaining (whole cache).
@@ -393,10 +404,7 @@ mod tests {
     use super::*;
 
     fn cache(pages: u64, ways: u32) -> SetAssocCache {
-        SetAssocCache::new(
-            CacheGeometry { total_pages: pages, ways, page_size: 4096 },
-            1,
-        )
+        SetAssocCache::new(CacheGeometry { total_pages: pages, ways, page_size: 4096 }, 1)
     }
 
     #[test]
@@ -416,7 +424,7 @@ mod tests {
     #[test]
     fn lru_eviction_order_within_set() {
         let mut c = cache(4, 4); // one set of 4 ways
-        // All lbas map to set 0.
+                                 // All lbas map to set 0.
         for lba in 0..4 {
             c.insert(lba, PageState::Clean, |_| true);
         }

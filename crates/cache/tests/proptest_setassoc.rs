@@ -2,6 +2,10 @@
 //! per-set reference model, under arbitrary insert/touch/free/state
 //! sequences.
 
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
 use kdd_cache::setassoc::{CacheGeometry, InsertOutcome, PageState, SetAssocCache, SetGrouping};
 use proptest::prelude::*;
 use std::collections::HashMap;

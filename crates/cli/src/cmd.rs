@@ -1,8 +1,12 @@
 //! `kddtool` subcommand implementations.
 
-use kdd_cache::policies::RaidModel;
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 #[allow(unused_imports)]
 use kdd_cache::policies::CachePolicy;
+use kdd_cache::policies::RaidModel;
 use kdd_cache::setassoc::CacheGeometry;
 use kdd_sim::closedloop::run_closed_loop;
 use kdd_sim::factory::{build_policy, PolicyKind};
@@ -57,18 +61,25 @@ impl Opts {
                 "--out" => o.out = Some(take("out")?),
                 "--format" => o.format = Some(take("format")?),
                 "--policy" => o.policy = Some(take("policy")?),
-                "--scale" => o.scale = take("scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?,
-                "--seed" => o.seed = take("seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                "--scale" => {
+                    o.scale = take("scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?
+                }
+                "--seed" => {
+                    o.seed = take("seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                }
                 "--cache-frac" => {
-                    o.cache_frac = take("cache-frac")?.parse().map_err(|e| format!("bad --cache-frac: {e}"))?
+                    o.cache_frac =
+                        take("cache-frac")?.parse().map_err(|e| format!("bad --cache-frac: {e}"))?
                 }
                 "--read-rate" => {
-                    o.read_rate = take("read-rate")?.parse().map_err(|e| format!("bad --read-rate: {e}"))?
+                    o.read_rate =
+                        take("read-rate")?.parse().map_err(|e| format!("bad --read-rate: {e}"))?
                 }
                 "--plan" => o.plan = Some(take("plan")?),
                 "--ops" => o.ops = take("ops")?.parse().map_err(|e| format!("bad --ops: {e}"))?,
                 "--faults" => {
-                    o.n_faults = take("faults")?.parse().map_err(|e| format!("bad --faults: {e}"))?
+                    o.n_faults =
+                        take("faults")?.parse().map_err(|e| format!("bad --faults: {e}"))?
                 }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
                 positional => o.positional.push(positional.to_string()),
@@ -169,11 +180,7 @@ pub fn stats(o: &Opts) -> Result<(), String> {
         // No file: fall back to a synthetic workload.
         o2.workload = o.workload.clone();
     }
-    let label = o2
-        .input
-        .clone()
-        .or(o.workload.clone())
-        .unwrap_or_else(|| "trace".into());
+    let label = o2.input.clone().or(o.workload.clone()).unwrap_or_else(|| "trace".into());
     let o_load = Opts { scale: o.scale, seed: o.seed, ..o2 };
     let trace = o_load.load_trace()?;
     println!("{}", TraceStats::table_header());
@@ -190,12 +197,7 @@ pub fn stats(o: &Opts) -> Result<(), String> {
 pub fn sim(o: &Opts) -> Result<(), String> {
     let trace = o.load_trace()?;
     let (g, raid) = geometry_for(&trace, o.cache_frac);
-    println!(
-        "cache: {} pages ({} sets x {} ways)",
-        g.total_pages,
-        g.sets(),
-        g.ways
-    );
+    println!("cache: {} pages ({} sets x {} ways)", g.total_pages, g.sets(), g.ways);
     println!(
         "{:<9} {:>8} {:>14} {:>10} {:>12} {:>12}",
         "policy", "hit%", "ssd writes", "meta%", "raid reads", "raid writes"
@@ -222,10 +224,7 @@ pub fn replay(o: &Opts) -> Result<(), String> {
     let trace = o.load_trace()?;
     let (g, raid) = geometry_for(&trace, o.cache_frac);
     let model = ServiceModel::paper_default();
-    println!(
-        "{:<9} {:>8} {:>12} {:>12} {:>12}",
-        "policy", "hit%", "mean resp", "p50", "p99"
-    );
+    println!("{:<9} {:>8} {:>12} {:>12} {:>12}", "policy", "hit%", "mean resp", "p50", "p99");
     for kind in o.policies()? {
         let mut p = build_policy(kind, g, raid, o.seed);
         let r = replay_open_loop(p.as_mut(), &trace, &model, 5, 1);
@@ -289,7 +288,7 @@ pub fn faults(o: &Opts) -> Result<(), String> {
     use kdd_core::KddConfig;
     use kdd_delta::content::PageMutator;
     use kdd_raid::{Layout, RaidArray, RaidLevel};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     const PAGE: u32 = 4096;
     const DISKS: u32 = 5;
@@ -309,14 +308,15 @@ pub fn faults(o: &Opts) -> Result<(), String> {
     let raid = RaidArray::new(layout, PAGE);
     let ssd = SsdDevice::with_logical_capacity((cache_pages + 64) * PAGE as u64, PAGE, 0.07);
     let g = CacheGeometry { total_pages: cache_pages, ways: 16, page_size: PAGE };
-    let mut engine =
-        KddEngine::new(KddConfig::new(g), ssd, raid).map_err(|e| e.to_string())?;
+    let mut engine = KddEngine::new(KddConfig::new(g), ssd, raid).map_err(|e| e.to_string())?;
     let injector = FaultInjector::new(plan);
     engine.attach_fault_injector(injector.clone());
 
     let working_set = 192u64;
     let mut mutator = PageMutator::new(PAGE as usize, 0.15, 64, o.seed);
-    let mut acked: HashMap<u64, Vec<u8>> = HashMap::new();
+    // BTreeMap: the verification sweep iterates this, and its order
+    // must not vary run-to-run (RandomState would reorder the output).
+    let mut acked: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut errors = 0u64;
     let mut recoveries = 0u64;
     let mut unacked: Option<u64> = None;
@@ -405,7 +405,13 @@ mod tests {
     #[test]
     fn parse_flags_and_positionals() {
         let o = Opts::parse(&s(&[
-            "--workload", "fin1", "--scale", "500", "--policy", "kdd-25", "file.spc",
+            "--workload",
+            "fin1",
+            "--scale",
+            "500",
+            "--policy",
+            "kdd-25",
+            "file.spc",
         ]))
         .unwrap();
         assert_eq!(o.workload.as_deref(), Some("fin1"));
@@ -442,14 +448,24 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.spc");
         let o = Opts::parse(&s(&[
-            "--workload", "fin2", "--scale", "4000", "--out", path.to_str().unwrap(),
+            "--workload",
+            "fin2",
+            "--scale",
+            "4000",
+            "--out",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         gen_trace(&o).unwrap();
         let o2 = Opts::parse(&s(&["--format", "spc", "--in", path.to_str().unwrap()])).unwrap();
         stats(&o2).unwrap();
         let o3 = Opts::parse(&s(&[
-            "--in", path.to_str().unwrap(), "--policy", "kdd-25", "--cache-frac", "0.2",
+            "--in",
+            path.to_str().unwrap(),
+            "--policy",
+            "kdd-25",
+            "--cache-frac",
+            "0.2",
         ]))
         .unwrap();
         sim(&o3).unwrap();
@@ -458,13 +474,15 @@ mod tests {
 
     #[test]
     fn replay_smoke() {
-        let o = Opts::parse(&s(&["--workload", "hm0", "--scale", "4000", "--policy", "kdd-12"])).unwrap();
+        let o = Opts::parse(&s(&["--workload", "hm0", "--scale", "4000", "--policy", "kdd-12"]))
+            .unwrap();
         replay(&o).unwrap();
     }
 
     #[test]
     fn fio_smoke() {
-        let o = Opts::parse(&s(&["--read-rate", "0.5", "--scale", "8192", "--policy", "wt"])).unwrap();
+        let o =
+            Opts::parse(&s(&["--read-rate", "0.5", "--scale", "8192", "--policy", "wt"])).unwrap();
         fio(&o).unwrap();
     }
 }

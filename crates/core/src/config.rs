@@ -1,5 +1,9 @@
 //! KDD configuration knobs.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use kdd_cache::setassoc::CacheGeometry;
 use serde::{Deserialize, Serialize};
 

@@ -22,6 +22,10 @@
 //! it reaches the head, at which point it can be dropped entirely — there
 //! is no older entry left for it to shadow.
 
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
 use kdd_util::hash::FastMap;
 use std::collections::VecDeque;
 
@@ -306,7 +310,10 @@ impl<E: LogEntry> MetaLog<E> {
         self.buffer = kept.into_iter().flatten().map(Some).collect();
         self.buffer_index.clear();
         for (i, e) in self.buffer.iter().enumerate() {
-            self.buffer_index.insert(e.as_ref().unwrap().key(), i);
+            // The rebuild above leaves no holes, so every slot is Some.
+            if let Some(e) = e.as_ref() {
+                self.buffer_index.insert(e.key(), i);
+            }
         }
         self.buffer_live = self.buffer.len();
         out
@@ -329,7 +336,9 @@ impl<E: LogEntry> MetaLog<E> {
     fn append_page(&mut self, entries: Vec<E>, out: &mut Vec<CommitBatch<E>>) {
         // Make room first (may reinsert live head entries into the buffer).
         while self.used_pages() >= self.partition_pages {
-            self.reclaim_head();
+            if !self.reclaim_head() {
+                break;
+            }
         }
         let seq = self.tail;
         self.tail += 1;
@@ -347,9 +356,15 @@ impl<E: LogEntry> MetaLog<E> {
         out.push(batch);
     }
 
-    /// Oldest-first GC: drop dead entries, reinsert live ones.
-    fn reclaim_head(&mut self) {
-        let page = self.pages.pop_front().expect("used_pages > 0");
+    /// Oldest-first GC: drop dead entries, reinsert live ones. Returns
+    /// `false` when there is no head page to reclaim (an accounting bug:
+    /// `used_pages()` is counter-derived, so disagreeing with the deque
+    /// must stop the caller's loop rather than spin or panic).
+    fn reclaim_head(&mut self) -> bool {
+        let Some(page) = self.pages.pop_front() else {
+            debug_assert!(false, "used_pages > 0 but page deque empty");
+            return false;
+        };
         debug_assert_eq!(page.seq, self.head);
         self.head += 1;
         self.gc_reclaims += 1;
@@ -365,6 +380,7 @@ impl<E: LogEntry> MetaLog<E> {
             }
             // Otherwise a newer entry exists elsewhere: dead, drop.
         }
+        true
     }
 }
 

@@ -20,6 +20,11 @@
 //! * **eviction** — only *clean* pages are evictable; *old* and *delta*
 //!   pages leave only through the cleaner.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use crate::config::KddConfig;
 use crate::metalog::{KeyEntry, MetaLog};
 use crate::staging::StagingBuffer;
@@ -163,14 +168,16 @@ impl KddPolicy {
     // ---- metadata ---------------------------------------------------------
 
     fn log_alloc(&mut self, lba: u64, fx: &mut Effects) {
-        fx.ssd_meta_writes += self.metalog.push(KeyEntry { key: lba, tombstone: false }).len() as u32;
+        fx.ssd_meta_writes +=
+            self.metalog.push(KeyEntry { key: lba, tombstone: false }).len() as u32;
         if !self.config.nvram_batching {
             fx.ssd_meta_writes += self.metalog.flush().len() as u32;
         }
     }
 
     fn log_free(&mut self, lba: u64, fx: &mut Effects) {
-        fx.ssd_meta_writes += self.metalog.push(KeyEntry { key: lba, tombstone: true }).len() as u32;
+        fx.ssd_meta_writes +=
+            self.metalog.push(KeyEntry { key: lba, tombstone: true }).len() as u32;
         if !self.config.nvram_batching {
             fx.ssd_meta_writes += self.metalog.flush().len() as u32;
         }
@@ -185,8 +192,17 @@ impl KddPolicy {
                 self.staging.remove(lba);
             }
             Some(DeltaLoc::Dez(slot)) => {
-                let page = self.dez.get_mut(&slot).expect("DEZ accounting broken");
-                let size = page.deltas.remove(&lba).expect("delta index broken");
+                // A missing page or delta entry is an accounting bug; skip
+                // the invalidation (the mapping is already gone) rather
+                // than panicking mid-write.
+                let Some(page) = self.dez.get_mut(&slot) else {
+                    debug_assert!(false, "DEZ accounting broken");
+                    return;
+                };
+                let Some(size) = page.deltas.remove(&lba) else {
+                    debug_assert!(false, "delta index broken");
+                    return;
+                };
                 page.bytes -= size;
                 self.dez_bytes -= size as u64;
                 // "the DEZ page cannot be freed until the valid count
@@ -260,10 +276,19 @@ impl KddPolicy {
             if db as u64 + sb as u64 > ps {
                 break; // nothing merges; utilisation is as good as it gets
             }
-            let spage = self.dez.remove(&src).unwrap();
+            // Both keys were just sampled from `dez`, so the lookups hold
+            // unless the index is corrupt — then stop compacting.
+            let Some(spage) = self.dez.remove(&src) else {
+                debug_assert!(false, "DEZ index corrupt: src page vanished");
+                break;
+            };
             fx.ssd_reads += 2; // read both victims
             fx.ssd_delta_writes += 1; // rewrite the merged page
-            let dpage = self.dez.get_mut(&dst).unwrap();
+            let Some(dpage) = self.dez.get_mut(&dst) else {
+                debug_assert!(false, "DEZ index corrupt: dst page vanished");
+                self.dez.insert(src, spage); // undo: keep the live deltas reachable
+                break;
+            };
             for (lba, size) in spage.deltas {
                 dpage.bytes += size;
                 dpage.deltas.insert(lba, size);
@@ -459,10 +484,7 @@ impl KddPolicy {
     /// false when none exists.
     fn clean_one_row_in_set(&mut self, set: usize, bg: &mut Effects) -> bool {
         let row = self.pending.row_ids().into_iter().find(|&row| {
-            self.raid
-                .row_lpns(row)
-                .first()
-                .is_some_and(|&l| self.cache.set_of_lba(l) == set)
+            self.raid.row_lpns(row).first().is_some_and(|&l| self.cache.set_of_lba(l) == set)
         });
         match row {
             Some(row) => {
@@ -641,7 +663,7 @@ mod tests {
     #[test]
     fn staging_commits_one_dez_page_per_fill() {
         let mut p = kdd(256, 0.25); // 1024-byte deltas, 4 per page
-        // Warm 8 pages then rewrite them: 8 deltas = 2 DEZ commits.
+                                    // Warm 8 pages then rewrite them: 8 deltas = 2 DEZ commits.
         for lba in 0..8 {
             p.access(Op::Write, lba);
         }
@@ -774,7 +796,8 @@ mod tests {
         use kdd_cache::policies::WriteThrough;
         let g = CacheGeometry { total_pages: 512, ways: 8, page_size: 4096 };
         let raid = RaidModel::paper_default(100_000);
-        let mut kddp = KddPolicy::new(KddConfig::new(g), raid, Box::new(FixedDeltaModel::new(0.25)));
+        let mut kddp =
+            KddPolicy::new(KddConfig::new(g), raid, Box::new(FixedDeltaModel::new(0.25)));
         let mut wt = WriteThrough::new(g, raid);
         let mut x = 77u64;
         for _ in 0..30_000 {

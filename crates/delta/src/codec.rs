@@ -17,6 +17,11 @@
 //! never more than one byte larger than the input. A one-byte header
 //! records which representation was chosen.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 /// Which representation a compressed buffer uses (the header byte).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeltaCodec {
@@ -136,7 +141,13 @@ const HASH_BITS: u32 = 13;
 
 #[inline]
 fn lz_hash(bytes: &[u8]) -> usize {
-    let v = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    // Callers guarantee `bytes.len() >= MIN_MATCH`; zip keeps the load
+    // panic-free regardless (short input hashes the available prefix).
+    let mut w = [0u8; 4];
+    for (d, s) in w.iter_mut().zip(bytes) {
+        *d = *s;
+    }
+    let v = u32::from_le_bytes(w);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
@@ -159,7 +170,10 @@ fn lz_compress(data: &[u8], out: &mut Vec<u8>) {
         let h = lz_hash(&data[i..]);
         let cand = table[h];
         table[h] = i;
-        if cand != usize::MAX && i - cand <= u16::MAX as usize && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH] {
+        if cand != usize::MAX
+            && i - cand <= u16::MAX as usize
+            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH]
+        {
             // Extend the match.
             let max_len = (data.len() - i).min(MAX_MATCH);
             let mut len = MIN_MATCH;
@@ -355,7 +369,8 @@ mod tests {
     #[test]
     fn isolated_zeros_stay_in_literals() {
         // "a0b0c0..." — single zeros should not explode token count.
-        let data: Vec<u8> = (0..256).map(|i| if i % 2 == 0 { (i % 250) as u8 + 1 } else { 0 }).collect();
+        let data: Vec<u8> =
+            (0..256).map(|i| if i % 2 == 0 { (i % 250) as u8 + 1 } else { 0 }).collect();
         let n = roundtrip(&data);
         assert!(n <= data.len() + 1 + data.len() / 64, "token overhead too big: {n}");
     }

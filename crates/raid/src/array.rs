@@ -20,13 +20,18 @@
 //! vulnerability the paper says LeavO leaves open and KDD closes by
 //! updating parity before rebuild.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use crate::gf256;
 use crate::layout::{Layout, RaidLevel};
 use kdd_blockdev::error::{DevError, FaultDomain};
 use kdd_blockdev::fault::FaultInjector;
 use kdd_blockdev::store::{MemStore, PageStore};
-use kdd_util::hash::FastSet;
 use kdd_delta::xor_into;
+use kdd_util::hash::FastSet;
 use serde::{Deserialize, Serialize};
 
 /// Direction of one member-disk operation.
@@ -98,6 +103,10 @@ pub enum RaidError {
     },
     /// Caller passed malformed arguments.
     BadArg(&'static str),
+    /// Internal bookkeeping contradicted itself (a bug, surfaced as an
+    /// error instead of a panic so a storage daemon can fail the request
+    /// and keep serving other stripes).
+    Inconsistent(&'static str),
 }
 
 impl From<DevError> for RaidError {
@@ -116,6 +125,7 @@ impl std::fmt::Display for RaidError {
             }
             RaidError::DiskFailed { disk } => write!(f, "member disk {disk} is failed"),
             RaidError::BadArg(s) => write!(f, "bad argument: {s}"),
+            RaidError::Inconsistent(s) => write!(f, "internal inconsistency: {s}"),
         }
     }
 }
@@ -169,9 +179,8 @@ pub struct RaidArray {
 impl RaidArray {
     /// Build an array of `layout.disks` fresh member disks.
     pub fn new(layout: Layout, page_size: u32) -> Self {
-        let disks = (0..layout.disks)
-            .map(|_| MemStore::new(layout.disk_pages, page_size))
-            .collect();
+        let disks =
+            (0..layout.disks).map(|_| MemStore::new(layout.disk_pages, page_size)).collect();
         RaidArray {
             layout,
             page_size,
@@ -255,14 +264,26 @@ impl RaidArray {
 
     // ---- raw member access with accounting -----------------------------
 
-    fn disk_read(&mut self, disk: usize, disk_page: u64, buf: &mut [u8], cost: &mut RaidCost) -> Result<(), RaidError> {
+    fn disk_read(
+        &mut self,
+        disk: usize,
+        disk_page: u64,
+        buf: &mut [u8],
+        cost: &mut RaidCost,
+    ) -> Result<(), RaidError> {
         self.disks[disk].read_page(disk_page, buf)?;
         self.stats[disk].reads += 1;
         cost.push(disk, disk_page, IoKind::Read);
         Ok(())
     }
 
-    fn disk_write(&mut self, disk: usize, disk_page: u64, data: &[u8], cost: &mut RaidCost) -> Result<(), RaidError> {
+    fn disk_write(
+        &mut self,
+        disk: usize,
+        disk_page: u64,
+        data: &[u8],
+        cost: &mut RaidCost,
+    ) -> Result<(), RaidError> {
         self.disks[disk].write_page(disk_page, data)?;
         self.stats[disk].writes += 1;
         cost.push(disk, disk_page, IoKind::Write);
@@ -283,7 +304,9 @@ impl RaidArray {
                 // The member died under this very read (injected drop or
                 // persistent fault): absorb the failure and reconstruct
                 // below, as a real array would.
-                Err(RaidError::Dev(e)) if matches!(e, DevError::Failed { .. }) && !e.is_transient() => {
+                Err(RaidError::Dev(e))
+                    if matches!(e, DevError::Failed { .. }) && !e.is_transient() =>
+                {
                     self.check_failures()?;
                     if !self.disks[loc.disk].is_failed() {
                         return Err(RaidError::Dev(e));
@@ -328,7 +351,8 @@ impl RaidArray {
         }
 
         let target_failed = self.disks[loc.disk].is_failed();
-        let others: Vec<usize> = (0..self.layout.data_disks()).filter(|&d| d != loc.data_index).collect();
+        let others: Vec<usize> =
+            (0..self.layout.data_disks()).filter(|&d| d != loc.data_index).collect();
         let others_alive = others.iter().all(|&d| {
             let disk = self.layout.data_disk(loc.stripe, d);
             !self.disks[disk].is_failed()
@@ -341,7 +365,8 @@ impl RaidArray {
         // RMW needs the target's old data and the old parity; reconstruct
         // needs every *other* data page. Pick what is possible, then what
         // is cheaper (fewer reads).
-        let rmw_possible = !target_failed && !self.is_stale(loc.row) && (p_alive || q_loc.is_none());
+        let rmw_possible =
+            !target_failed && !self.is_stale(loc.row) && (p_alive || q_loc.is_none());
         let recon_possible = others_alive;
         let rmw_reads = 1 + p_alive as usize + q_alive as usize;
         let recon_reads = others.len();
@@ -441,7 +466,11 @@ impl RaidArray {
     /// Repair a stale row by reconstruct-write: the caller supplies every
     /// data page of the row (KDD has them all in cache), so no member
     /// reads are needed — only the parity write(s).
-    pub fn parity_update_with_data(&mut self, row: u64, data: &[&[u8]]) -> Result<RaidCost, RaidError> {
+    pub fn parity_update_with_data(
+        &mut self,
+        row: u64,
+        data: &[&[u8]],
+    ) -> Result<RaidCost, RaidError> {
         self.check_failures()?;
         if data.len() != self.layout.row_width() {
             return Err(RaidError::BadArg("need every data page of the row"));
@@ -476,7 +505,11 @@ impl RaidArray {
     /// Repair a stale row by read-modify-write: read the stale parity and
     /// fold in the accumulated per-member deltas (each delta is the XOR of
     /// the member's pre-stale content with its current content).
-    pub fn parity_update_rmw(&mut self, row: u64, deltas: &[(usize, &[u8])]) -> Result<RaidCost, RaidError> {
+    pub fn parity_update_rmw(
+        &mut self,
+        row: u64,
+        deltas: &[(usize, &[u8])],
+    ) -> Result<RaidCost, RaidError> {
         self.check_failures()?;
         let ps = self.page_size as usize;
         if deltas.iter().any(|(d, buf)| *d >= self.layout.row_width() || buf.len() != ps) {
@@ -576,11 +609,16 @@ impl RaidArray {
             let stripe = self.layout.stripe_of_row(row);
             let dp = self.row_disk_page(row);
             for (member, content) in solved {
-                let disk = match member {
-                    RowMember::Data(d) => self.layout.data_disk(stripe, d),
-                    RowMember::P => self.layout.parity_disk(stripe).unwrap(),
-                    RowMember::Q => self.layout.q_disk(stripe).unwrap(),
-                };
+                let disk =
+                    match member {
+                        RowMember::Data(d) => self.layout.data_disk(stripe, d),
+                        RowMember::P => self.layout.parity_disk(stripe).ok_or(
+                            RaidError::Inconsistent("P member solved on parity-less layout"),
+                        )?,
+                        RowMember::Q => self.layout.q_disk(stripe).ok_or(
+                            RaidError::Inconsistent("Q member solved on non-RAID-6 layout"),
+                        )?,
+                    };
                 self.disk_write(disk, dp, &content, &mut cost)?;
             }
         }
@@ -609,9 +647,8 @@ impl RaidArray {
         let dd = self.layout.data_disks();
         let is_excluded = |disk: usize| excluded.contains(&disk);
 
-        let missing_data: Vec<usize> = (0..dd)
-            .filter(|&d| is_excluded(self.layout.data_disk(stripe, d)))
-            .collect();
+        let missing_data: Vec<usize> =
+            (0..dd).filter(|&d| is_excluded(self.layout.data_disk(stripe, d))).collect();
         let p_disk = self.layout.parity_disk(stripe);
         let q_disk = self.layout.q_disk(stripe);
         let p_missing = p_disk.is_some_and(is_excluded);
@@ -631,7 +668,10 @@ impl RaidArray {
                 data[d] = Some(buf);
             }
         }
-        let read_parity = |this: &mut Self, loc: Option<(usize, u64)>, cost: &mut RaidCost| -> Result<Vec<u8>, RaidError> {
+        let read_parity = |this: &mut Self,
+                           loc: Option<(usize, u64)>,
+                           cost: &mut RaidCost|
+         -> Result<Vec<u8>, RaidError> {
             let (pd, pp) = loc.ok_or(RaidError::TooManyFailures)?;
             let mut buf = vec![0u8; ps];
             this.disk_read(pd, pp, &mut buf, cost)?;
@@ -646,15 +686,21 @@ impl RaidArray {
                 if !p_missing && p_disk.is_some() {
                     // D_x = P ⊕ Σ_{d≠x} D_d
                     let mut out = read_parity(self, self.layout.parity_location(row), cost)?;
-                    for d in (0..dd).filter(|&d| d != x) {
-                        xor_into(&mut out, data[d].as_ref().unwrap());
+                    for (_d, page) in data.iter().enumerate().filter(|(d, _)| *d != x) {
+                        let page = page
+                            .as_ref()
+                            .ok_or(RaidError::Inconsistent("survivor page not read"))?;
+                        xor_into(&mut out, page);
                     }
                     data[x] = Some(out);
                 } else if !q_missing && q_disk.is_some() {
                     // D_x = (Q ⊕ Σ_{d≠x} g^d·D_d) / g^x
                     let mut acc = read_parity(self, self.layout.q_location(row), cost)?;
-                    for d in (0..dd).filter(|&d| d != x) {
-                        gf256::mul_slice_into(&mut acc, data[d].as_ref().unwrap(), gf256::pow_g(d));
+                    for (d, page) in data.iter().enumerate().filter(|(d, _)| *d != x) {
+                        let page = page
+                            .as_ref()
+                            .ok_or(RaidError::Inconsistent("survivor page not read"))?;
+                        gf256::mul_slice_into(&mut acc, page, gf256::pow_g(d));
                     }
                     let mut out = vec![0u8; ps];
                     gf256::mul_slice_into(&mut out, &acc, gf256::inv(gf256::pow_g(x)));
@@ -672,8 +718,9 @@ impl RaidArray {
                 // b = Q ⊕ Σ g^d survivors = g^x·D_x ⊕ g^y·D_y
                 let mut a = read_parity(self, self.layout.parity_location(row), cost)?;
                 let mut b = read_parity(self, self.layout.q_location(row), cost)?;
-                for d in (0..dd).filter(|&d| d != x && d != y) {
-                    let page = data[d].as_ref().unwrap();
+                for (d, page) in data.iter().enumerate().filter(|(d, _)| *d != x && *d != y) {
+                    let page =
+                        page.as_ref().ok_or(RaidError::Inconsistent("survivor page not read"))?;
                     xor_into(&mut a, page);
                     gf256::mul_slice_into(&mut b, page, gf256::pow_g(d));
                 }
@@ -695,7 +742,11 @@ impl RaidArray {
         // With all data known, recompute any missing parity.
         let mut out = Vec::new();
         for d in missing_data {
-            out.push((RowMember::Data(d), data[d].clone().unwrap()));
+            let page = data
+                .get(d)
+                .and_then(|p| p.clone())
+                .ok_or(RaidError::Inconsistent("solver left a data member unsolved"))?;
+            out.push((RowMember::Data(d), page));
         }
         if p_missing {
             let mut p = vec![0u8; ps];
@@ -707,7 +758,10 @@ impl RaidArray {
         if q_missing {
             let mut q = vec![0u8; ps];
             for (d, page) in data.iter().enumerate() {
-                gf256::mul_slice_into(&mut q, page.as_ref().unwrap(), gf256::pow_g(d));
+                let page = page
+                    .as_ref()
+                    .ok_or(RaidError::Inconsistent("solver left a data member unsolved"))?;
+                gf256::mul_slice_into(&mut q, page, gf256::pow_g(d));
             }
             out.push((RowMember::Q, q));
         }
@@ -840,7 +894,11 @@ mod tests {
                 for lpn in 0..a.capacity_pages() {
                     a.read_page(lpn, &mut buf)
                         .unwrap_or_else(|e| panic!("fail {f1},{f2} lpn {lpn}: {e}"));
-                    assert_eq!(buf, page((lpn as u8).wrapping_add(7), ps), "fail {f1},{f2} lpn {lpn}");
+                    assert_eq!(
+                        buf,
+                        page((lpn as u8).wrapping_add(7), ps),
+                        "fail {f1},{f2} lpn {lpn}"
+                    );
                 }
             }
         }
@@ -889,9 +947,7 @@ mod tests {
         let d1 = page(0xEE, ps);
         let d2 = page(2, ps);
         let d3 = page(3, ps);
-        let cost = a
-            .parity_update_with_data(row, &[&d0, &d1, &d2, &d3])
-            .unwrap();
+        let cost = a.parity_update_with_data(row, &[&d0, &d1, &d2, &d3]).unwrap();
         assert_eq!(cost.reads(), 0, "reconstruct-write repair reads nothing");
         assert_eq!(cost.writes(), 1);
         assert!(!a.is_stale(row));
@@ -969,10 +1025,7 @@ mod tests {
         let victim_disk = a.layout().locate(victim_lpn).disk;
         a.fail_disk(victim_disk);
         let mut buf = vec![0u8; ps];
-        assert_eq!(
-            a.read_page(victim_lpn, &mut buf).unwrap_err(),
-            RaidError::StaleParity { row }
-        );
+        assert_eq!(a.read_page(victim_lpn, &mut buf).unwrap_err(), RaidError::StaleParity { row });
     }
 
     #[test]
@@ -988,10 +1041,8 @@ mod tests {
         // KDD's §III-E2 sequence: parity_update first, then rebuild.
         let row = a.layout().row_of(3);
         let lpns = a.layout().row_lpns(row);
-        let datas: Vec<Vec<u8>> = lpns
-            .iter()
-            .map(|&l| if l == 3 { page(0xDD, ps) } else { page(l as u8, ps) })
-            .collect();
+        let datas: Vec<Vec<u8>> =
+            lpns.iter().map(|&l| if l == 3 { page(0xDD, ps) } else { page(l as u8, ps) }).collect();
         let refs: Vec<&[u8]> = datas.iter().map(|d| d.as_slice()).collect();
         a.parity_update_with_data(row, &refs).unwrap();
         a.rebuild().unwrap();

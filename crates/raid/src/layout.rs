@@ -13,6 +13,10 @@
 //! the cache uses for set placement ("DAZ pages in the same parity stripe
 //! are mapped to the same cache set", §III-B).
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use serde::{Deserialize, Serialize};
 
 /// RAID level of an array.
@@ -108,19 +112,24 @@ impl Layout {
         self.data_disks()
     }
 
+    /// Left-symmetric P-disk rotation: parity walks backwards from the last
+    /// disk. Valid for every level; RAID-0 simply has no parity to place.
+    fn rotated_parity_disk(&self, stripe: u64) -> usize {
+        ((self.disks as u64 - 1) - (stripe % self.disks as u64)) as usize
+    }
+
     /// Parity (P) disk of a stripe; `None` for RAID-0.
     pub fn parity_disk(&self, stripe: u64) -> Option<usize> {
         match self.level {
             RaidLevel::Raid0 => None,
-            // Left-symmetric: parity walks backwards from the last disk.
-            _ => Some(((self.disks as u64 - 1) - (stripe % self.disks as u64)) as usize),
+            _ => Some(self.rotated_parity_disk(stripe)),
         }
     }
 
     /// Q-parity disk of a stripe; `None` unless RAID-6.
     pub fn q_disk(&self, stripe: u64) -> Option<usize> {
         match self.level {
-            RaidLevel::Raid6 => Some((self.parity_disk(stripe).unwrap() + 1) % self.disks),
+            RaidLevel::Raid6 => Some((self.rotated_parity_disk(stripe) + 1) % self.disks),
             _ => None,
         }
     }
@@ -131,11 +140,11 @@ impl Layout {
         match self.level {
             RaidLevel::Raid0 => d,
             RaidLevel::Raid5 => {
-                let p = self.parity_disk(stripe).unwrap();
+                let p = self.rotated_parity_disk(stripe);
                 (p + 1 + d) % self.disks
             }
             RaidLevel::Raid6 => {
-                let q = self.q_disk(stripe).unwrap();
+                let q = (self.rotated_parity_disk(stripe) + 1) % self.disks;
                 (q + 1 + d) % self.disks
             }
         }
@@ -184,9 +193,7 @@ impl Layout {
         let stripe = row / self.chunk_pages;
         let offset = row % self.chunk_pages;
         let dd = self.data_disks() as u64;
-        (0..dd)
-            .map(|d| (stripe * dd + d) * self.chunk_pages + offset)
-            .collect()
+        (0..dd).map(|d| (stripe * dd + d) * self.chunk_pages + offset).collect()
     }
 
     /// Disk page where parity row `row` stores P.

@@ -7,6 +7,10 @@
 //! completes. Disk rounds contend on the shared member-disk center, which
 //! is what pushes latencies to the ~100 ms the paper tunes for.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::queue::MultiServer;
 use crate::service::ServiceModel;
 use kdd_cache::policies::CachePolicy;
@@ -138,8 +142,18 @@ mod tests {
         let nossd = run(PolicyKind::Nossd, 0.25, 2048);
         let wt = run(PolicyKind::Wt, 0.25, 2048);
         let kdd = run(PolicyKind::Kdd(0.25), 0.25, 2048);
-        assert!(kdd.mean_response < nossd.mean_response, "KDD {} !< Nossd {}", kdd.mean_response, nossd.mean_response);
-        assert!(kdd.mean_response < wt.mean_response, "KDD {} !< WT {}", kdd.mean_response, wt.mean_response);
+        assert!(
+            kdd.mean_response < nossd.mean_response,
+            "KDD {} !< Nossd {}",
+            kdd.mean_response,
+            nossd.mean_response
+        );
+        assert!(
+            kdd.mean_response < wt.mean_response,
+            "KDD {} !< WT {}",
+            kdd.mean_response,
+            wt.mean_response
+        );
     }
 
     #[test]
@@ -149,8 +163,18 @@ mod tests {
         let lv = run(PolicyKind::LeavO, 0.25, 2048);
         let kdd = run(PolicyKind::Kdd(0.25), 0.25, 2048);
         assert!(wa.ssd_write_bytes < kdd.ssd_write_bytes);
-        assert!(kdd.ssd_write_bytes < wt.ssd_write_bytes, "KDD {} !< WT {}", kdd.ssd_write_bytes, wt.ssd_write_bytes);
-        assert!(wt.ssd_write_bytes < lv.ssd_write_bytes, "WT {} !< LeavO {}", wt.ssd_write_bytes, lv.ssd_write_bytes);
+        assert!(
+            kdd.ssd_write_bytes < wt.ssd_write_bytes,
+            "KDD {} !< WT {}",
+            kdd.ssd_write_bytes,
+            wt.ssd_write_bytes
+        );
+        assert!(
+            wt.ssd_write_bytes < lv.ssd_write_bytes,
+            "WT {} !< LeavO {}",
+            wt.ssd_write_bytes,
+            lv.ssd_write_bytes
+        );
     }
 
     #[test]
@@ -159,8 +183,10 @@ mod tests {
         let kdd75 = run(PolicyKind::Kdd(0.25), 0.75, 2048);
         let wa0 = run(PolicyKind::Wa, 0.0, 2048);
         let wa75 = run(PolicyKind::Wa, 0.75, 2048);
-        let gap0 = kdd0.ssd_write_bytes.as_u64() as f64 / wa0.ssd_write_bytes.as_u64().max(1) as f64;
-        let gap75 = kdd75.ssd_write_bytes.as_u64() as f64 / wa75.ssd_write_bytes.as_u64().max(1) as f64;
+        let gap0 =
+            kdd0.ssd_write_bytes.as_u64() as f64 / wa0.ssd_write_bytes.as_u64().max(1) as f64;
+        let gap75 =
+            kdd75.ssd_write_bytes.as_u64() as f64 / wa75.ssd_write_bytes.as_u64().max(1) as f64;
         assert!(gap75 < gap0, "gap must narrow with read rate: {gap0} vs {gap75}");
     }
 }

@@ -1,6 +1,12 @@
 //! Uniform policy construction for experiment sweeps.
 
-use kdd_cache::policies::{CachePolicy, LeavO, Nossd, RaidModel, WriteAround, WriteBack, WriteThrough};
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
+use kdd_cache::policies::{
+    CachePolicy, LeavO, Nossd, RaidModel, WriteAround, WriteBack, WriteThrough,
+};
 use kdd_cache::setassoc::CacheGeometry;
 use kdd_core::{KddConfig, KddPolicy};
 use kdd_delta::model::GaussianDeltaModel;
@@ -66,7 +72,12 @@ impl PolicyKind {
 ///
 /// `seed` feeds KDD's Gaussian compressibility sampler; the other policies
 /// are deterministic.
-pub fn build_policy(kind: PolicyKind, geometry: CacheGeometry, raid: RaidModel, seed: u64) -> Box<dyn CachePolicy> {
+pub fn build_policy(
+    kind: PolicyKind,
+    geometry: CacheGeometry,
+    raid: RaidModel,
+    seed: u64,
+) -> Box<dyn CachePolicy> {
     match kind {
         PolicyKind::Nossd => Box::new(Nossd::new(raid)),
         PolicyKind::Wt => Box::new(WriteThrough::new(geometry, raid)),

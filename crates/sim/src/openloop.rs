@@ -6,6 +6,10 @@
 //! center, so bursts congest exactly as on a real array; the response time
 //! is queueing delay plus service.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::queue::MultiServer;
 use crate::service::ServiceModel;
 use kdd_cache::policies::CachePolicy;
@@ -104,7 +108,11 @@ mod tests {
     use kdd_trace::synth::PaperTrace;
 
     fn replay(kind: PolicyKind, trace: &Trace, cache_pages: u64) -> OpenLoopReport {
-        let g = CacheGeometry { total_pages: cache_pages, ways: 64.min(cache_pages as u32), page_size: 4096 };
+        let g = CacheGeometry {
+            total_pages: cache_pages,
+            ways: 64.min(cache_pages as u32),
+            page_size: 4096,
+        };
         let raid = RaidModel::paper_default(trace.address_space_pages().max(1024));
         let mut p = build_policy(kind, g, raid, 3);
         let model = ServiceModel::paper_default();

@@ -10,6 +10,11 @@
 //! events". Virtual device time accumulates per thread; wall-clock
 //! concurrency is real.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd_core::engine::{EngineError, KddEngine};
 use kdd_trace::fio::FioWorkload;
 use kdd_trace::record::Op;

@@ -54,7 +54,8 @@ impl ServiceModel {
 
     /// Foreground response time of one request's effects.
     pub fn response_time(&self, fx: &Effects) -> SimTime {
-        let cpu = self.compress * fx.compressions as u64 + self.decompress * fx.decompressions as u64;
+        let cpu =
+            self.compress * fx.compressions as u64 + self.decompress * fx.decompressions as u64;
         let ssd_reads = self.ssd_read * fx.ssd_read_rounds as u64;
         if fx.raid_rounds > 0 {
             // SSD programs overlap the (much slower) disk access.
@@ -112,13 +113,8 @@ mod tests {
     #[test]
     fn ssd_writes_overlap_disk_io() {
         let m = ServiceModel::paper_default();
-        let wt_write = Effects {
-            ssd_data_writes: 1,
-            raid_reads: 2,
-            raid_writes: 2,
-            raid_rounds: 2,
-            ..fx()
-        };
+        let wt_write =
+            Effects { ssd_data_writes: 1, raid_reads: 2, raid_writes: 2, raid_rounds: 2, ..fx() };
         let no_ssd = Effects { raid_reads: 2, raid_writes: 2, raid_rounds: 2, ..fx() };
         assert_eq!(m.response_time(&wt_write), m.response_time(&no_ssd));
         // But a pure cache write does pay the program time.

@@ -11,6 +11,10 @@
 //! [`FioWorkload`] is therefore a request *source*, not a timed trace; the
 //! closed-loop simulator pulls from it.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::record::Op;
 use kdd_util::rng::seeded_rng;
 use kdd_util::sampler::Zipf;
@@ -121,7 +125,8 @@ impl FioWorkload {
             return None;
         }
         self.issued += 1;
-        let op = if self.rng.random::<f64>() < self.config.read_rate { Op::Read } else { Op::Write };
+        let op =
+            if self.rng.random::<f64>() < self.config.read_rate { Op::Read } else { Op::Write };
         let rank = self.zipf.sample(&mut self.rng) - 1;
         let lba = rank.wrapping_mul(self.stride) % self.config.wss_pages;
         Some((op, lba))

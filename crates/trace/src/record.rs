@@ -5,6 +5,10 @@
 //! request" (§IV-A1). Addresses are page-granular (4 KiB by default) —
 //! multi-page requests carry a length and the consumer expands them.
 
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
 use kdd_util::units::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -69,11 +73,7 @@ impl Trace {
 
     /// Largest page number touched plus one (address-space size).
     pub fn address_space_pages(&self) -> u64 {
-        self.records
-            .iter()
-            .map(|r| r.lba + r.len as u64)
-            .max()
-            .unwrap_or(0)
+        self.records.iter().map(|r| r.lba + r.len as u64).max().unwrap_or(0)
     }
 
     /// Ensure time-ordering (parsers call this defensively).
@@ -101,8 +101,18 @@ mod tests {
     fn trace_helpers() {
         let mut t = Trace::new(4096);
         assert!(t.is_empty());
-        t.records.push(TraceRecord { time: SimTime::from_millis(5), op: Op::Read, lba: 100, len: 2 });
-        t.records.push(TraceRecord { time: SimTime::from_millis(2), op: Op::Write, lba: 7, len: 1 });
+        t.records.push(TraceRecord {
+            time: SimTime::from_millis(5),
+            op: Op::Read,
+            lba: 100,
+            len: 2,
+        });
+        t.records.push(TraceRecord {
+            time: SimTime::from_millis(2),
+            op: Op::Write,
+            lba: 7,
+            len: 1,
+        });
         t.sort_by_time();
         assert_eq!(t.records[0].lba, 7);
         assert_eq!(t.duration(), SimTime::from_millis(5));

@@ -16,6 +16,11 @@
 //! cluster order is a pseudo-random permutation — sequential runs exist
 //! (spatial locality) but the address space is covered irregularly.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use crate::record::{Op, Trace, TraceRecord};
 use kdd_util::rng::{derive_seed, seeded_rng};
 use kdd_util::sampler::Zipf;
@@ -88,10 +93,16 @@ impl SynthSpec {
         // Address mapping: shared ranks [0, overlap), read-only follows,
         // then write-only; rank → page via clustered permutation.
         let read_pop = RankMapper::new(self.unique_read, self.unique_total);
-        let write_pop = RankMapper::with_offset(overlap, self.unique_read, self.unique_write, self.unique_total);
+        let write_pop = RankMapper::with_offset(
+            overlap,
+            self.unique_read,
+            self.unique_write,
+            self.unique_total,
+        );
 
         let mut read_stream = Stream::new(self.unique_read, self.read_requests, self.read_theta);
-        let mut write_stream = Stream::new(self.unique_write, self.write_requests, self.write_theta);
+        let mut write_stream =
+            Stream::new(self.unique_write, self.write_requests, self.write_theta);
 
         let total = self.read_requests + self.write_requests;
         let mut trace = Trace::new(4096);
@@ -280,7 +291,8 @@ pub enum PaperTrace {
 
 impl PaperTrace {
     /// All four traces in the paper's order.
-    pub const ALL: [PaperTrace; 4] = [PaperTrace::Fin1, PaperTrace::Fin2, PaperTrace::Hm0, PaperTrace::Web0];
+    pub const ALL: [PaperTrace; 4] =
+        [PaperTrace::Fin1, PaperTrace::Fin2, PaperTrace::Hm0, PaperTrace::Web0];
 
     /// The write-dominant pair (Figures 5–6).
     pub const WRITE_DOMINANT: [PaperTrace; 2] = [PaperTrace::Fin1, PaperTrace::Hm0];

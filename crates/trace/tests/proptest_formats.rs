@@ -1,6 +1,10 @@
 //! Property tests: the SPC/MSR writers and parsers round-trip arbitrary
 //! traces, and the parsers never panic on hostile input.
 
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
 use kdd_trace::record::{Op, Trace, TraceRecord};
 use kdd_trace::{msr, spc, writer};
 use kdd_util::units::SimTime;

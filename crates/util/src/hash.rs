@@ -6,6 +6,10 @@
 //! finalizer from MurmurHash3 (`fmix64`), which has full avalanche behaviour
 //! and costs a handful of ALU ops.
 
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
 /// MurmurHash3 `fmix64` finalizer: a bijective mix with full avalanche.
 ///
 /// Because it is bijective, distinct LBAs never collide before the modulo

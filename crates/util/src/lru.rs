@@ -7,6 +7,11 @@
 //! reads. Slots are managed by the caller (they are the cache-page indices
 //! themselves), which keeps the list fully intrusive.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 const NIL: u32 = u32::MAX;
 
 #[derive(Clone, Copy, Debug)]
@@ -37,12 +42,7 @@ impl LruList {
     /// Create a list able to track slots `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity < NIL as usize, "capacity exceeds u32 index space");
-        LruList {
-            nodes: vec![Node::default(); capacity],
-            head: NIL,
-            tail: NIL,
-            len: 0,
-        }
+        LruList { nodes: vec![Node::default(); capacity], head: NIL, tail: NIL, len: 0 }
     }
 
     /// Number of linked slots.

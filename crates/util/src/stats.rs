@@ -5,6 +5,11 @@
 //! accumulators here are streaming/O(1)-memory except [`Histogram`], which
 //! uses logarithmic buckets (HdrHistogram-style) for percentile queries.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use serde::{Deserialize, Serialize};
 
 /// Welford's online mean/variance accumulator.
@@ -21,7 +26,14 @@ pub struct StreamingStats {
 impl StreamingStats {
     /// Fresh accumulator.
     pub fn new() -> Self {
-        StreamingStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Add one observation.
@@ -63,7 +75,11 @@ impl StreamingStats {
 
     /// Arithmetic mean (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Sum of observations.
@@ -73,7 +89,11 @@ impl StreamingStats {
 
     /// Population variance (0 if fewer than 2 observations).
     pub fn variance(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { self.m2 / self.count as f64 }
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
     }
 
     /// Population standard deviation.
@@ -132,7 +152,11 @@ impl RatioCounter {
 
     /// hits/total, 0 when empty.
     pub fn ratio(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.hits as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
     }
 
     /// Merge another counter.
@@ -186,7 +210,8 @@ impl Histogram {
         let exp = (i as u64) >> SUB_BITS;
         let sub = (i as u64) & (SUB - 1);
         if exp >= SUB_BITS as u64 {
-            ((SUB + sub) << (exp - SUB_BITS as u64)).saturating_add((1 << (exp.saturating_sub(SUB_BITS as u64))) - 1)
+            ((SUB + sub) << (exp - SUB_BITS as u64))
+                .saturating_add((1 << (exp.saturating_sub(SUB_BITS as u64))) - 1)
         } else {
             (SUB + sub) >> (SUB_BITS as u64 - exp)
         }
@@ -207,7 +232,11 @@ impl Histogram {
 
     /// Mean of recorded values.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
     }
 
     /// Maximum recorded value.

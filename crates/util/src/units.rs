@@ -5,6 +5,10 @@
 //! Using a newtype (instead of bare `u64`) keeps nanoseconds from being
 //! confused with microsecond trace timestamps or byte counts.
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
@@ -18,9 +22,7 @@ pub const MIB: u64 = 1024 * KIB;
 pub const GIB: u64 = 1024 * MIB;
 
 /// Virtual time in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -164,9 +166,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A byte count with human-readable formatting.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {

@@ -2,6 +2,10 @@
 //! intrusive LRU list against a `VecDeque` reference, and the ghost list
 //! against an ordered map.
 
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
 use kdd_util::lru::{GhostList, LruList};
 use proptest::prelude::*;
 use std::collections::VecDeque;

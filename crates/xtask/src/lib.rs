@@ -1,0 +1,757 @@
+//! `kdd-lint`: a dependency-free static-analysis pass over the KDD workspace.
+//!
+//! The compiler cannot see the invariants KDD's correctness story rests on:
+//! stale parity left by `write_no_parity_update` must be registered for the
+//! cleaner, seeded fault replay is only sound if every code path is
+//! deterministic, and the I/O path must degrade through typed errors rather
+//! than panicking mid-stripe. This crate enforces those rules mechanically
+//! on every PR (`cargo run -p xtask -- lint`).
+//!
+//! ## Rules
+//!
+//! | ID | Name | What it forbids |
+//! |---|---|---|
+//! | `KDD000` | `waiver` | malformed waiver comments (missing `-- <reason>`) |
+//! | `KDD001` | `no-panic` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code of the I/O-path crates |
+//! | `KDD002` | `layering` | raw device/array writes (`write_page`, `parity_update_*`, …) from `sim`, `bench`, `cli`, or `trace` |
+//! | `KDD003` | `determinism` | wall-clock time, `thread_rng`, and default-hasher `HashMap`/`HashSet` outside `bench`/`cli` |
+//! | `KDD004` | `stale-parity` | `write_no_parity_update` call sites in modules that never repair or register stale parity |
+//! | `KDD005` | `indexing-slicing` | unchecked slice indexing in the I/O-path crates (pedantic, `--pedantic` only) |
+//!
+//! ## Waivers
+//!
+//! A violation is silenced by an inline waiver **carrying a written reason**:
+//!
+//! ```text
+//! // kdd-lint: allow(no-panic) -- length checked two lines above
+//! ```
+//!
+//! The waiver applies to code on the same line, or — when the comment stands
+//! alone — to the next line with code on it. A waiver without ` -- <reason>`
+//! is itself a violation (`KDD000`).
+//!
+//! The engine is line/token-aware, not AST-aware: comments and string
+//! literals are scrubbed before matching, `#[cfg(test)]` / `#[test]` regions
+//! are excluded by brace tracking, and doc-test examples never trigger rules.
+
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must never panic (rule `KDD001`, `KDD005`).
+pub const PANIC_FREE_CRATES: &[&str] = &["blockdev", "raid", "core", "cache", "delta"];
+
+/// Crates that must not issue raw device/array writes (rule `KDD002`).
+pub const LAYERING_RESTRICTED_CRATES: &[&str] = &["sim", "bench", "cli", "trace"];
+
+/// Crates allowed to read wall-clock time and use default hashers (`KDD003`).
+pub const NONDETERMINISM_ALLOWED_CRATES: &[&str] = &["bench", "cli", "xtask"];
+
+/// Raw mutation entry points of the device/array substrate. Only the cache,
+/// core engine, and RAID internals may call these; everything above goes
+/// through `KddEngine`/`KddPolicy` so effects are accounted and crash-ordered.
+const RAW_WRITE_TOKENS: &[&str] = &[
+    ".write_page(",
+    ".trim_page(",
+    ".write_no_parity_update(",
+    ".parity_update_with_data(",
+    ".parity_update_rmw(",
+    ".resync(",
+    ".rebuild(",
+];
+
+/// Tokens that panic at runtime (rule `KDD001`).
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Wall-clock / ambient-randomness tokens (rule `KDD003`).
+const NONDETERMINISM_TOKENS: &[&str] =
+    &["Instant::now", "SystemTime", "std::time::", "thread_rng", "rand::random"];
+
+/// Tokens that prove a module repairs or registers stale parity (`KDD004`).
+const STALE_REPAIR_TOKENS: &[&str] = &[
+    ".parity_update_with_data(",
+    ".parity_update_rmw(",
+    ".resync(",
+    ".stale_rows(",
+    ".is_stale(",
+    "mark_stale",
+];
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `KDD000` — malformed waiver comment.
+    Waiver,
+    /// `KDD001` — panicking construct on an I/O path.
+    NoPanic,
+    /// `KDD002` — raw device write from a restricted layer.
+    Layering,
+    /// `KDD003` — nondeterministic construct outside `bench`/`cli`.
+    Determinism,
+    /// `KDD004` — unpaired `write_no_parity_update` call site.
+    StaleParity,
+    /// `KDD005` — unchecked slice indexing (pedantic).
+    IndexingSlicing,
+}
+
+impl Rule {
+    /// Stable rule ID, e.g. `KDD001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Waiver => "KDD000",
+            Rule::NoPanic => "KDD001",
+            Rule::Layering => "KDD002",
+            Rule::Determinism => "KDD003",
+            Rule::StaleParity => "KDD004",
+            Rule::IndexingSlicing => "KDD005",
+        }
+    }
+
+    /// Human name, as accepted inside `kdd-lint: allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Waiver => "waiver",
+            Rule::NoPanic => "no-panic",
+            Rule::Layering => "layering",
+            Rule::Determinism => "determinism",
+            Rule::StaleParity => "stale-parity",
+            Rule::IndexingSlicing => "indexing-slicing",
+        }
+    }
+
+    /// Parse a rule from its name or its `KDDnnn` code.
+    pub fn parse(s: &str) -> Option<Rule> {
+        let all = [
+            Rule::Waiver,
+            Rule::NoPanic,
+            Rule::Layering,
+            Rule::Determinism,
+            Rule::StaleParity,
+            Rule::IndexingSlicing,
+        ];
+        all.into_iter().find(|r| r.name() == s || r.code() == s || r.code().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.code(), self.name())
+    }
+}
+
+/// One finding: a rule violated at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found and why it is forbidden.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A waiver that was honoured (reported for transparency, not a failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverUse {
+    /// The waived rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the waiver silenced.
+    pub line: usize,
+    /// The written reason after `--`.
+    pub reason: String,
+}
+
+/// Linter options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Also run the pedantic `KDD005` indexing rule (the workspace relies on
+    /// `clippy::indexing_slicing` with per-file allows for enforcement; the
+    /// xtask rule exists for fixtures and ad-hoc audits).
+    pub pedantic: bool,
+}
+
+/// Result of linting: violations plus the waivers that were honoured.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Rule violations (non-empty report fails CI).
+    pub violations: Vec<Violation>,
+    /// Waivers with written reasons that silenced a would-be violation.
+    pub waivers: Vec<WaiverUse>,
+}
+
+// ---------------------------------------------------------------------------
+// Source scrubbing
+// ---------------------------------------------------------------------------
+
+/// A source line after scrubbing, with the metadata rules need.
+#[derive(Debug)]
+struct Line {
+    /// Code with comments and string/char literals blanked to spaces.
+    code: String,
+    /// Comment text only (code and literals blanked): waivers live here, so
+    /// a string literal mentioning the waiver syntax can never enact one.
+    comment: String,
+    /// Inside a `#[cfg(test)]` / `#[test]` region.
+    in_test: bool,
+}
+
+/// Scrub `src` into two parallel streams of identical line structure:
+/// `.0` = code with comments and string/char literals blanked to spaces,
+/// `.1` = comments only, with everything else blanked.
+fn scrub(src: &str) -> (String, String) {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut code = String::with_capacity(src.len());
+    let mut com = String::with_capacity(src.len());
+    // Emit one position to both streams: `c` goes to whichever stream
+    // `to_code`/`to_com` select; the other gets a space (newlines go to both).
+    let mut put = |c: char, to_code: bool, to_com: bool| {
+        if c == '\n' {
+            code.push('\n');
+            com.push('\n');
+        } else {
+            code.push(if to_code { c } else { ' ' });
+            com.push(if to_com { c } else { ' ' });
+        }
+    };
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    put(c, false, true);
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    put(c, false, true);
+                    put('*', false, true);
+                    i += 1; // consume the `*` so `/*/` does not self-close
+                }
+                '"' => {
+                    st = St::Str;
+                    put(c, false, false);
+                }
+                'r' if matches!(next, Some('"') | Some('#'))
+                    && !prev_is_ident(&b, i)
+                    && raw_str_hashes(&b, i + 1).is_some() =>
+                {
+                    let h = raw_str_hashes(&b, i + 1).unwrap_or(0);
+                    st = St::RawStr(h);
+                    for _ in 0..(h + 2) {
+                        put(' ', false, false);
+                    }
+                    i += h + 1; // consume r##...#"
+                }
+                '\'' if is_char_literal(&b, i) => {
+                    st = St::Char;
+                    put(c, false, false);
+                }
+                _ => put(c, true, false),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                }
+                put(c, false, true);
+            }
+            St::BlockComment(depth) => {
+                put(c, false, true);
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    put('*', false, true);
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    put('/', false, true);
+                    i += 1;
+                    st = if depth == 1 { St::Code } else { St::BlockComment(depth - 1) };
+                }
+            }
+            St::Str => {
+                put(c, false, false);
+                if c == '\\' {
+                    put(next.unwrap_or(' '), false, false);
+                    i += 1;
+                } else if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(h) => {
+                put(c, false, false);
+                if c == '"' && raw_str_closes(&b, i, h) {
+                    for _ in 0..h {
+                        put(' ', false, false);
+                    }
+                    i += h;
+                    st = St::Code;
+                }
+            }
+            St::Char => {
+                put(c, false, false);
+                if c == '\\' {
+                    put(' ', false, false);
+                    i += 1;
+                } else if c == '\'' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    (code, com)
+}
+
+/// Is `b[i]` preceded by an identifier char (so `r` is part of a name)?
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && b.get(i - 1).is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// If `b[i..]` opens a raw string (`"` or `#...#"`), how many `#`s?
+fn raw_str_hashes(b: &[char], i: usize) -> Option<usize> {
+    let mut h = 0;
+    let mut j = i;
+    while b.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some(h)
+}
+
+/// Does the `"` at `b[i]` close a raw string with `h` trailing `#`s?
+fn raw_str_closes(b: &[char], i: usize, h: usize) -> bool {
+    (1..=h).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish a char literal from a lifetime at `b[i] == '\''`.
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => b.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Mark lines inside `#[cfg(test)]` / `#[test]` / `#[bench]` regions.
+///
+/// Brace-tracked on scrubbed text: the region runs from the attribute to the
+/// close of the first brace block (or the first `;` for brace-less items).
+fn mark_test_regions(scrubbed_lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; scrubbed_lines.len()];
+    let mut i = 0;
+    while i < scrubbed_lines.len() {
+        let t = scrubbed_lines[i].trim();
+        let is_test_attr = t.contains("#[cfg(test)]")
+            || t.contains("#[test]")
+            || t.contains("#[bench]")
+            || t.contains("#[should_panic");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < scrubbed_lines.len() {
+            in_test[j] = true;
+            let mut done = false;
+            for c in scrubbed_lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            done = true;
+                        }
+                    }
+                    ';' if !opened && depth == 0 && j > i => done = true,
+                    _ => {}
+                }
+            }
+            if done || (opened && depth <= 0) {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// A parsed `kdd-lint: allow(rule) -- reason` comment.
+#[derive(Debug)]
+struct Waiver {
+    rule: Option<Rule>,
+    reason: Option<String>,
+    /// The raw text inside `allow(...)` (for diagnostics).
+    rule_text: String,
+}
+
+/// Extract every waiver comment on a raw line.
+fn parse_waivers(raw: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("kdd-lint:") {
+        let after = &rest[pos + "kdd-lint:".len()..];
+        let after = after.trim_start();
+        if let Some(args) = after.strip_prefix("allow(") {
+            if let Some(close) = args.find(')') {
+                let rule_text = args[..close].trim().to_string();
+                let tail = &args[close + 1..];
+                let reason = tail.find("--").map(|p| tail[p + 2..].trim().to_string());
+                out.push(Waiver {
+                    rule: Rule::parse(&rule_text),
+                    reason: reason.filter(|r| !r.is_empty()),
+                    rule_text,
+                });
+                rest = &args[close + 1..];
+                continue;
+            }
+        }
+        out.push(Waiver { rule: None, reason: None, rule_text: String::new() });
+        rest = after;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+/// First match of `pat` in `code` at an identifier boundary (the char before
+/// the match must not be part of an identifier when `pat` starts with one).
+fn find_ident_token(code: &str, pat: &str) -> Option<usize> {
+    let starts_ident = pat.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(rel) = code.get(from..).and_then(|s| s.find(pat)) {
+        let pos = from + rel;
+        if !starts_ident {
+            return Some(pos);
+        }
+        let boundary_ok = pos == 0
+            || code[..pos].chars().next_back().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if boundary_ok {
+            return Some(pos);
+        }
+        from = pos + pat.len();
+    }
+    None
+}
+
+/// Does the line use `HashMap`/`HashSet` with the *default* hasher? Lines
+/// naming an explicit `BuildHasher`/`FastHasherBuilder` third parameter are
+/// the sanctioned way to use them.
+fn default_hasher_use(code: &str) -> Option<&'static str> {
+    ["HashMap", "HashSet"].into_iter().find(|ident| {
+        find_ident_token(code, ident).is_some()
+            && !code.contains("HasherBuilder")
+            && !code.contains("BuildHasher")
+            && !code.contains("FastMap")
+            && !code.contains("FastSet")
+    })
+}
+
+/// Pedantic: a `[` directly after an identifier, `)`, or `]` is an index
+/// expression that can panic. Attribute lines are skipped.
+fn has_index_expr(code: &str) -> bool {
+    if code.trim_start().starts_with('#') {
+        return false;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    chars.windows(2).any(|w| {
+        // kdd-lint: allow(indexing-slicing) -- windows(2) guarantees len 2
+        let (a, b) = (w[0], w[1]);
+        b == '[' && (a.is_alphanumeric() || a == '_' || a == ')' || a == ']')
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Per-file linting
+// ---------------------------------------------------------------------------
+
+/// Lint one source file given its crate name and workspace-relative path.
+///
+/// This is the whole engine; [`lint_workspace`] just walks directories and
+/// feeds files through here. Exposed so fixture tests can drive it directly.
+pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -> Report {
+    let (code_text, comment_text) = scrub(src);
+    let scrubbed_lines: Vec<&str> = code_text.lines().collect();
+    let comment_lines: Vec<&str> = comment_text.lines().collect();
+    let in_test = mark_test_regions(&scrubbed_lines);
+    let lines: Vec<Line> = (0..src.lines().count())
+        .map(|i| Line {
+            code: scrubbed_lines.get(i).copied().unwrap_or("").to_string(),
+            comment: comment_lines.get(i).copied().unwrap_or("").to_string(),
+            in_test: in_test.get(i).copied().unwrap_or(false),
+        })
+        .collect();
+
+    let mut report = Report::default();
+
+    // Waiver table: line index -> waived rules (with reasons). A waiver on a
+    // comment-only line forwards to the next line that has code.
+    let mut waived: Vec<Vec<(Rule, String)>> = vec![Vec::new(); lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        for w in parse_waivers(&line.comment) {
+            let Some(rule) = w.rule else {
+                report.violations.push(Violation {
+                    rule: Rule::Waiver,
+                    file: rel_path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "malformed waiver: `allow({})` names no known rule \
+                         (use a rule name like `no-panic` or an ID like `KDD001`)",
+                        w.rule_text
+                    ),
+                });
+                continue;
+            };
+            let Some(reason) = w.reason else {
+                report.violations.push(Violation {
+                    rule: Rule::Waiver,
+                    file: rel_path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "waiver for {} carries no reason: write \
+                         `kdd-lint: allow({}) -- <why this is sound>`",
+                        rule.code(),
+                        rule.name()
+                    ),
+                });
+                continue;
+            };
+            // Same line if it has code, else the next code-bearing line.
+            let mut target = i;
+            if line.code.trim().is_empty() {
+                for (j, l) in lines.iter().enumerate().skip(i + 1) {
+                    if !l.code.trim().is_empty() {
+                        target = j;
+                        break;
+                    }
+                }
+            }
+            if let Some(slot) = waived.get_mut(target) {
+                slot.push((rule, reason));
+            }
+        }
+    }
+
+    let emit = |report: &mut Report, rule: Rule, line_idx: usize, message: String| {
+        if let Some((_, reason)) =
+            waived.get(line_idx).and_then(|ws| ws.iter().find(|(r, _)| *r == rule))
+        {
+            report.waivers.push(WaiverUse {
+                rule,
+                file: rel_path.to_string(),
+                line: line_idx + 1,
+                reason: reason.clone(),
+            });
+        } else {
+            report.violations.push(Violation {
+                rule,
+                file: rel_path.to_string(),
+                line: line_idx + 1,
+                message,
+            });
+        }
+    };
+
+    let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
+    let layering_restricted = LAYERING_RESTRICTED_CRATES.contains(&crate_name);
+    let determinism_checked = !NONDETERMINISM_ALLOWED_CRATES.contains(&crate_name);
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || line.code.trim().is_empty() {
+            continue;
+        }
+        if panic_free {
+            for tok in PANIC_TOKENS {
+                if find_ident_token(&line.code, tok).is_some() {
+                    emit(
+                        &mut report,
+                        Rule::NoPanic,
+                        i,
+                        format!(
+                            "`{}` in non-test code of panic-free crate `{}`: \
+                             plumb a typed error instead",
+                            tok.trim_matches(|c| c == '.' || c == '('),
+                            crate_name
+                        ),
+                    );
+                }
+            }
+            if opts.pedantic && has_index_expr(&line.code) {
+                emit(
+                    &mut report,
+                    Rule::IndexingSlicing,
+                    i,
+                    format!(
+                        "unchecked slice index in panic-free crate `{crate_name}`: \
+                         use `.get()`/`.get_mut()` or prove bounds with a slice pattern"
+                    ),
+                );
+            }
+        }
+        if layering_restricted {
+            for tok in RAW_WRITE_TOKENS {
+                if line.code.contains(tok) {
+                    emit(
+                        &mut report,
+                        Rule::Layering,
+                        i,
+                        format!(
+                            "raw device/array write `{}` from layer `{}`: \
+                             only cache/core/raid internals may mutate the substrate \
+                             (go through `KddEngine`/`KddPolicy`)",
+                            tok.trim_matches(|c| c == '.' || c == '('),
+                            crate_name
+                        ),
+                    );
+                }
+            }
+        }
+        if determinism_checked {
+            for tok in NONDETERMINISM_TOKENS {
+                if find_ident_token(&line.code, tok).is_some() {
+                    emit(
+                        &mut report,
+                        Rule::Determinism,
+                        i,
+                        format!(
+                            "`{tok}` breaks seeded replay: use `util::rng::seeded_rng` \
+                             / `SimTime` instead (only `bench`/`cli` may read ambient state)"
+                        ),
+                    );
+                    break; // one wall-clock finding per line is enough
+                }
+            }
+            if let Some(ident) = default_hasher_use(&line.code) {
+                emit(
+                    &mut report,
+                    Rule::Determinism,
+                    i,
+                    format!(
+                        "`{ident}` with the default `RandomState` hasher iterates in a \
+                         different order every run: use `BTreeMap`/`BTreeSet` or \
+                         `util::hash::FastMap`/`FastSet`"
+                    ),
+                );
+            }
+        }
+    }
+
+    // KDD004: every module calling `write_no_parity_update` must also repair
+    // or register stale parity (the defining crate `raid` is exempt).
+    if crate_name != "raid" {
+        let repairs = lines
+            .iter()
+            .any(|l| !l.in_test && STALE_REPAIR_TOKENS.iter().any(|t| l.code.contains(t)));
+        if !repairs {
+            for (i, line) in lines.iter().enumerate() {
+                if !line.in_test && line.code.contains(".write_no_parity_update(") {
+                    emit(
+                        &mut report,
+                        Rule::StaleParity,
+                        i,
+                        "`write_no_parity_update` leaves stale parity, but this module \
+                         never calls `parity_update_*`/`resync` or registers the stale \
+                         stripe: pair it with repair logic or waive with a reason"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Recursively collect `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every crate's `src/` tree under `<root>/crates/`.
+///
+/// `tests/`, `benches/`, `examples/`, and `vendor/` are out of scope: rules
+/// govern the shipped I/O paths, and test code is free to `unwrap`.
+pub fn lint_workspace(root: &Path, opts: Options) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if crate_name == "xtask" {
+            // The linter's own source is full of rule tokens and waiver
+            // syntax *as data*; its behaviour is pinned by the fixture
+            // corpus under crates/xtask/tests/ instead of self-linting.
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let content = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            let sub = lint_source(&crate_name, &rel, &content, opts);
+            report.violations.extend(sub.violations);
+            report.waivers.extend(sub.waivers);
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,102 @@
+//! Workspace automation entry point: `cargo run -p xtask -- lint`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{lint_workspace, Options};
+
+const USAGE: &str = "\
+xtask — KDD workspace automation
+
+USAGE:
+    cargo run -p xtask -- lint [--root <path>] [--pedantic] [--quiet]
+
+COMMANDS:
+    lint    Run kdd-lint over every crate's src/ tree. Exits 1 on any
+            violation; honoured waivers (with written reasons) are listed
+            but do not fail the run.
+
+OPTIONS:
+    --root <path>   Workspace root (default: nearest ancestor with Cargo.toml)
+    --pedantic      Also run KDD005 (unchecked slice indexing)
+    --quiet         Suppress the honoured-waiver listing
+";
+
+fn find_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(r) = explicit {
+        return Some(r);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut opts = Options::default();
+    let mut root = None;
+    let mut quiet = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pedantic" => opts.pedantic = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = find_root(root) else {
+        eprintln!("could not locate the workspace root (run from inside the repo)");
+        return ExitCode::from(2);
+    };
+
+    let report = match lint_workspace(&root, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kdd-lint: I/O error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet && !report.waivers.is_empty() {
+        eprintln!("kdd-lint: {} waiver(s) in effect:", report.waivers.len());
+        for w in &report.waivers {
+            eprintln!("  {}:{}: {} waived -- {}", w.file, w.line, w.rule.code(), w.reason);
+        }
+    }
+
+    if report.violations.is_empty() {
+        eprintln!("kdd-lint: clean ({} waivers honoured)", report.waivers.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        eprintln!("kdd-lint: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,23 @@
+//! Known-bad fixture for KDD003 (determinism). Linted as crate `sim`.
+
+use std::collections::HashMap; // line 3: default hasher import
+use std::time::Instant; // line 4: wall clock
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now(); // line 7: wall clock read
+    t0.elapsed().as_nanos()
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng(); // line 12: ambient randomness
+    rng.next_u64()
+}
+
+pub fn census(lbas: &[u64]) -> usize {
+    let mut seen: HashMap<u64, u64> = HashMap::new(); // line 17: default hasher
+    for l in lbas {
+        *seen.entry(*l).or_default() += 1;
+    }
+    let extra = std::collections::HashSet::<u64>::new(); // line 21: default hasher
+    seen.len() + extra.len()
+}

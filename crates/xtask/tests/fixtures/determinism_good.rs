@@ -1,0 +1,31 @@
+//! Known-good fixture for KDD003: seeded and ordered alternatives. Linted
+//! as crate `sim`; must produce zero violations.
+
+use kdd_util::hash::{FastMap, FastSet};
+use std::collections::BTreeMap;
+
+pub fn census(lbas: &[u64]) -> usize {
+    // Deterministic iteration: seeded hasher or ordered map.
+    let mut seen: FastMap<u64, u64> = FastMap::default();
+    for l in lbas {
+        *seen.entry(*l).or_default() += 1;
+    }
+    let ordered: BTreeMap<u64, u64> = seen.iter().map(|(k, v)| (*k, *v)).collect();
+    let distinct: FastSet<u64> = lbas.iter().copied().collect();
+    ordered.len() + distinct.len()
+}
+
+/// An explicit hasher parameter is the sanctioned escape hatch.
+pub type SeededMap<K, V> = std::collections::HashMap<K, V, kdd_util::hash::FastHasherBuilder>;
+
+pub fn seeded_walk(seed: u64) -> u64 {
+    let mut rng = kdd_util::rng::seeded_rng(seed);
+    rng.next_u64()
+}
+
+pub fn waived_clock() -> u64 {
+    // kdd-lint: allow(determinism) -- operator-facing progress line only
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}

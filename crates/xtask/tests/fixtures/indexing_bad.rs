@@ -1,0 +1,8 @@
+//! Known-bad fixture for KDD005 (indexing-slicing, pedantic). Linted as
+//! crate `raid` with `--pedantic`.
+
+pub fn first_word(page: &[u8], table: &[u64]) -> u64 {
+    let hi = table[page.len() % 7]; // line 5: unchecked index
+    let lo = page[0] as u64; // line 6: unchecked index
+    (hi << 8) | lo
+}

@@ -1,0 +1,11 @@
+//! Known-good fixture for KDD005: bounds-proved access. Linted as crate
+//! `raid` with `--pedantic`; zero violations expected.
+
+pub fn first_word(page: &[u8], table: &[u64]) -> u64 {
+    let hi = table.get(page.len() % 7).copied().unwrap_or(0);
+    let lo = page.first().copied().unwrap_or(0) as u64;
+    let arr = [1u8, 2, 3]; // an array literal is not an index expression
+    let _ = arr;
+    let v: Vec<u8> = vec![0; 4]; // vec! macro brackets are not indexing
+    (hi << 8) | lo | v.len() as u64
+}

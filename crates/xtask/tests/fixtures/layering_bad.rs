@@ -1,0 +1,9 @@
+//! Known-bad fixture for KDD002 (layering). Linted as crate `sim`.
+
+pub fn meddle(ssd: &mut kdd_blockdev::SsdDevice, raid: &mut kdd_raid::RaidArray) {
+    let page = vec![0u8; 4096];
+    let _ = ssd.write_page(0, &page); // line 5: raw device write
+    let _ = ssd.trim_page(0); // line 6: raw trim
+    let _ = raid.write_no_parity_update(0, &page); // line 7: raw array write
+    let _ = raid.resync(None); // line 8: raw repair
+}

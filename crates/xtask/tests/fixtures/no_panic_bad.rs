@@ -1,0 +1,38 @@
+//! Known-bad fixture for KDD001 (no-panic). Linted as crate `core`.
+//! Expected violations, by line, are asserted in tests/lint_fixtures.rs.
+
+pub fn decode_header(b: &[u8]) -> (u64, u32) {
+    let lba = u64::from_le_bytes(b[..8].try_into().unwrap()); // line 5: unwrap
+    let slot = u32::from_le_bytes(b[8..12].try_into().expect("12-byte header")); // line 6: expect
+    (lba, slot)
+}
+
+pub fn route(state: u8) -> u8 {
+    match state {
+        0 => 1,
+        1 => 0,
+        _ => unreachable!("states are binary"), // line 14: unreachable!
+    }
+}
+
+pub fn not_done() {
+    todo!() // line 19: todo!
+}
+
+pub fn bail() {
+    panic!("boom"); // line 23: panic!
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u8, ()> = Ok(2);
+        r.expect("tests may panic");
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

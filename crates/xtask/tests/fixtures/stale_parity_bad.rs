@@ -1,0 +1,7 @@
+//! Known-bad fixture for KDD004 (stale-parity pairing). Linted as crate
+//! `cache`: calls `write_no_parity_update` but never repairs or registers
+//! the stale stripe.
+
+pub fn fast_write(raid: &mut kdd_raid::RaidArray, lba: u64, data: &[u8]) {
+    let _ = raid.write_no_parity_update(lba, data); // line 6: unpaired
+}

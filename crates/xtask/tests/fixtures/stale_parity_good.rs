@@ -1,0 +1,11 @@
+//! Known-good fixture for KDD004: the module pairs the delayed write with
+//! repair logic. Linted as crate `cache`; zero violations expected.
+
+pub fn fast_write_then_repair(raid: &mut kdd_raid::RaidArray, lba: u64, data: &[u8]) {
+    let _ = raid.write_no_parity_update(lba, data);
+}
+
+pub fn cleaner_pass(raid: &mut kdd_raid::RaidArray) {
+    let rows: Vec<u64> = raid.stale_rows().collect();
+    let _ = raid.resync(Some(&rows));
+}

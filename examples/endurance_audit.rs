@@ -5,6 +5,11 @@
 //!
 //! Run with: `cargo run --release --example endurance_audit`
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd::delta::content::PageMutator;
 use kdd::prelude::*;
 
@@ -35,62 +40,65 @@ fn main() {
     // accumulating run (cleaner only wakes on thresholds) and a paced run
     // (idle cleaning between rounds resets the base), which is where the
     // paper's per-write locality model applies.
-    for (label, change_fraction) in [("low (≈50%)", 0.45), ("medium (≈25%)", 0.20), ("high (≈12%)", 0.08)] {
+    for (label, change_fraction) in
+        [("low (≈50%)", 0.45), ("medium (≈25%)", 0.20), ("high (≈12%)", 0.08)]
+    {
         for (pacing, clean_each_round) in [("accumulating", false), ("idle-cleaned", true)] {
-        let mut engine = build_engine();
-        let mut mutator = PageMutator::new(PAGE as usize, change_fraction, 64, 99);
-        let mut versions: Vec<Vec<u8>> = (0..HOT_PAGES).map(|_| mutator.initial_page()).collect();
+            let mut engine = build_engine();
+            let mut mutator = PageMutator::new(PAGE as usize, change_fraction, 64, 99);
+            let mut versions: Vec<Vec<u8>> =
+                (0..HOT_PAGES).map(|_| mutator.initial_page()).collect();
 
-        // Load phase.
-        for (lba, v) in versions.iter().enumerate() {
-            engine.write(lba as u64, v).unwrap();
-        }
-        let loaded = engine.ssd().endurance().host_written_bytes;
-
-        // Churn phase: every hot page rewritten ROUNDS times.
-        for _ in 0..ROUNDS {
-            for lba in 0..HOT_PAGES {
-                let next = mutator.mutate(&versions[lba as usize]);
-                engine.write(lba, &next).unwrap();
-                versions[lba as usize] = next;
+            // Load phase.
+            for (lba, v) in versions.iter().enumerate() {
+                engine.write(lba as u64, v).unwrap();
             }
-            if clean_each_round {
-                let mut t = kdd::prelude::SimTime::ZERO;
-                engine.clean(&mut t).unwrap();
+            let loaded = engine.ssd().endurance().host_written_bytes;
+
+            // Churn phase: every hot page rewritten ROUNDS times.
+            for _ in 0..ROUNDS {
+                for lba in 0..HOT_PAGES {
+                    let next = mutator.mutate(&versions[lba as usize]);
+                    engine.write(lba, &next).unwrap();
+                    versions[lba as usize] = next;
+                }
+                if clean_each_round {
+                    let mut t = kdd::prelude::SimTime::ZERO;
+                    engine.clean(&mut t).unwrap();
+                }
             }
-        }
-        engine.flush().unwrap();
+            engine.flush().unwrap();
 
-        // Verify integrity before trusting any number.
-        for lba in (0..HOT_PAGES).step_by(17) {
-            let (data, _) = engine.read(lba).unwrap();
-            assert_eq!(data, versions[lba as usize], "corruption at {lba}");
-        }
+            // Verify integrity before trusting any number.
+            for lba in (0..HOT_PAGES).step_by(17) {
+                let (data, _) = engine.read(lba).unwrap();
+                assert_eq!(data, versions[lba as usize], "corruption at {lba}");
+            }
 
-        let e = engine.ssd().endurance();
-        let s = engine.stats();
-        let churn_host = e.host_written_bytes - loaded;
-        // What a write-through cache would have programmed for the same
-        // churn: one full page per write.
-        let wt_equiv = (HOT_PAGES * ROUNDS as u64) * PAGE as u64;
-        println!("content locality {label} ({pacing}):");
-        println!("  churn writes to SSD      : {}", ByteSize::bytes(churn_host));
-        println!("  WT would have written    : {}", ByteSize::bytes(wt_equiv));
-        println!(
-            "  reduction                : {:.1}%",
-            100.0 * (1.0 - churn_host as f64 / wt_equiv as f64)
-        );
-        println!("  NAND writes (with WAF)   : {}", ByteSize::bytes(e.nand_written_bytes));
-        println!("  write amplification      : {:.3}", e.waf());
-        println!("  block erases             : {}", e.erases);
-        println!(
-            "  projected lifetime vs WT : {:.2}x",
-            wt_equiv as f64 / churn_host.max(1) as f64
-        );
-        println!(
-            "  traffic: {} data / {} delta / {} metadata pages; {} parity repairs\n",
-            s.ssd_data_writes, s.ssd_delta_writes, s.ssd_meta_writes, s.parity_updates
-        );
+            let e = engine.ssd().endurance();
+            let s = engine.stats();
+            let churn_host = e.host_written_bytes - loaded;
+            // What a write-through cache would have programmed for the same
+            // churn: one full page per write.
+            let wt_equiv = (HOT_PAGES * ROUNDS as u64) * PAGE as u64;
+            println!("content locality {label} ({pacing}):");
+            println!("  churn writes to SSD      : {}", ByteSize::bytes(churn_host));
+            println!("  WT would have written    : {}", ByteSize::bytes(wt_equiv));
+            println!(
+                "  reduction                : {:.1}%",
+                100.0 * (1.0 - churn_host as f64 / wt_equiv as f64)
+            );
+            println!("  NAND writes (with WAF)   : {}", ByteSize::bytes(e.nand_written_bytes));
+            println!("  write amplification      : {:.3}", e.waf());
+            println!("  block erases             : {}", e.erases);
+            println!(
+                "  projected lifetime vs WT : {:.2}x",
+                wt_equiv as f64 / churn_host.max(1) as f64
+            );
+            println!(
+                "  traffic: {} data / {} delta / {} metadata pages; {} parity repairs\n",
+                s.ssd_data_writes, s.ssd_delta_writes, s.ssd_meta_writes, s.parity_updates
+            );
         }
     }
 }

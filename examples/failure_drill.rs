@@ -4,6 +4,11 @@
 //!
 //! Run with: `cargo run --release --example failure_drill`
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd::delta::content::PageMutator;
 use kdd::prelude::*;
 
@@ -20,7 +25,12 @@ fn build_engine() -> KddEngine {
 }
 
 /// Apply a churny workload leaving plenty of delayed parity behind.
-fn churn(engine: &mut KddEngine, versions: &mut [Vec<u8>], mutator: &mut PageMutator, rounds: usize) {
+fn churn(
+    engine: &mut KddEngine,
+    versions: &mut [Vec<u8>],
+    mutator: &mut PageMutator,
+    rounds: usize,
+) {
     for _ in 0..rounds {
         for lba in 0..WORKING_SET {
             let next = mutator.mutate(&versions[lba as usize]);
@@ -84,9 +94,7 @@ fn main() {
     churn(&mut engine, &mut versions, &mut mutator, 2);
     let stale = engine.raid().stale_row_count();
     let t = engine.recover_from_hdd_failure(1).expect("hdd recovery");
-    println!(
-        "  parity-updated {stale} rows then rebuilt disk 1 in simulated {t}"
-    );
+    println!("  parity-updated {stale} rows then rebuilt disk 1 in simulated {t}");
     assert!(engine.raid().failed_disks().is_empty());
     verify_all(&mut engine, &versions, "HDD rebuild");
 

@@ -5,6 +5,10 @@
 //! Run with: `cargo run --release --example oltp_replay [scale]`
 //! (`scale` divides the Table I trace sizes; default 200.)
 
+// Narrowing casts here are bounded by construction (page sizes, slot
+// counts). See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation)]
+
 use kdd::prelude::*;
 use kdd::sim::openloop::replay_open_loop;
 
@@ -14,10 +18,8 @@ fn main() {
 
     println!("Table I (regenerated at 1/{scale} scale):");
     println!("{}", TraceStats::table_header());
-    let traces: Vec<(PaperTrace, Trace)> = PaperTrace::ALL
-        .iter()
-        .map(|&pt| (pt, pt.generate_scaled(scale, 42)))
-        .collect();
+    let traces: Vec<(PaperTrace, Trace)> =
+        PaperTrace::ALL.iter().map(|&pt| (pt, pt.generate_scaled(scale, 42))).collect();
     for (pt, trace) in &traces {
         println!("{}", TraceStats::compute(trace).table_row(pt.name()));
     }

@@ -4,6 +4,11 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd::prelude::*;
 
 fn main() {
@@ -21,7 +26,8 @@ fn main() {
 
     // A small SSD cache (1024 pages) managed by KDD.
     let cache_pages = 1024u64;
-    let ssd = SsdDevice::with_logical_capacity((cache_pages + 64) * page_size as u64, page_size, 0.07);
+    let ssd =
+        SsdDevice::with_logical_capacity((cache_pages + 64) * page_size as u64, page_size, 0.07);
     let geometry = CacheGeometry { total_pages: cache_pages, ways: 16, page_size };
     let mut engine = KddEngine::new(KddConfig::new(geometry), ssd, raid).expect("engine");
 
@@ -29,7 +35,9 @@ fn main() {
     // Write 256 "rows", then update each of them 4 times changing ~10% of
     // the page — the content locality KDD exploits.
     let mut pages: Vec<Vec<u8>> = (0..256u64)
-        .map(|lba| (0..page_size as usize).map(|i| (lba as u8) ^ (i as u8).wrapping_mul(17)).collect())
+        .map(|lba| {
+            (0..page_size as usize).map(|i| (lba as u8) ^ (i as u8).wrapping_mul(17)).collect()
+        })
         .collect();
     for (lba, page) in pages.iter().enumerate() {
         engine.write(lba as u64, page).expect("initial write");
@@ -78,9 +86,7 @@ fn main() {
         s.ssd_data_writes, s.ssd_delta_writes, s.ssd_meta_writes
     );
     let full_page_writes = s.write_hits; // what WT would have programmed
-    println!(
-        "write hits served by deltas instead of full-page programs: {full_page_writes}"
-    );
+    println!("write hits served by deltas instead of full-page programs: {full_page_writes}");
 }
 
 fn print_state(engine: &KddEngine) {

@@ -1,8 +1,13 @@
 //! Cross-crate integration tests: the whole stack — trace generation,
 //! policies, the KDD engine, the RAID, the SSD — exercised together.
 
-use kdd::prelude::*;
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd::delta::content::PageMutator;
+use kdd::prelude::*;
 
 const PAGE: u32 = 4096;
 
@@ -80,12 +85,22 @@ fn policies_rank_consistently_on_a_paper_trace() {
     // KDD's hit ratio sits near WT's: below it when version space costs
     // bite, occasionally above it when pinned dirty pages pay off (the
     // paper sees both — Fig 5 vs Fig 7's Web0 discussion).
-    assert!((hit("WT") - hit("KDD-12%")).abs() < 0.10, "WT {} vs KDD-12 {}", hit("WT"), hit("KDD-12%"));
+    assert!(
+        (hit("WT") - hit("KDD-12%")).abs() < 0.10,
+        "WT {} vs KDD-12 {}",
+        hit("WT"),
+        hit("KDD-12%")
+    );
     assert!(hit("KDD-12%") >= hit("KDD-50%"), "locality ordering broken");
     // Stronger content locality pushes KDD decisively past LeavO (Fig 5);
     // at 50% ratio the two sit close together.
     assert!(hit("KDD-12%") > hit("LeavO"), "KDD-12 {} vs LeavO {}", hit("KDD-12%"), hit("LeavO"));
-    assert!(hit("KDD-50%") >= hit("LeavO") - 0.06, "KDD-50 {} vs LeavO {}", hit("KDD-50%"), hit("LeavO"));
+    assert!(
+        hit("KDD-50%") >= hit("LeavO") - 0.06,
+        "KDD-50 {} vs LeavO {}",
+        hit("KDD-50%"),
+        hit("LeavO")
+    );
 
     assert!(wr("LeavO") > wr("WT"), "LeavO {} !> WT {}", wr("LeavO"), wr("WT"));
     assert!(wr("WT") > wr("KDD-50%"), "WT {} !> KDD-50 {}", wr("WT"), wr("KDD-50%"));

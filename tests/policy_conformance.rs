@@ -2,6 +2,11 @@
 //! obeys the invariants the paper's comparison relies on, across random
 //! workloads.
 
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use kdd::prelude::*;
 use kdd::util::rng::seeded_rng;
 use proptest::prelude::*;
@@ -22,7 +27,13 @@ fn all_kinds() -> Vec<PolicyKind> {
     ]
 }
 
-fn run_workload(kind: PolicyKind, seed: u64, requests: u32, space: u64, write_frac: f64) -> CacheStats {
+fn run_workload(
+    kind: PolicyKind,
+    seed: u64,
+    requests: u32,
+    space: u64,
+    write_frac: f64,
+) -> CacheStats {
     let geometry = CacheGeometry { total_pages: 256, ways: 16, page_size: PAGE };
     let raid = RaidModel::paper_default(space.max(1024));
     let mut p = build_policy(kind, geometry, raid, seed);
@@ -127,11 +138,7 @@ fn hit_ratio_monotone_in_cache_size_for_every_policy() {
     for kind in [PolicyKind::Wt, PolicyKind::Wa, PolicyKind::LeavO, PolicyKind::Kdd(0.25)] {
         let mut prev = -1.0f64;
         for cache_pages in [128u64, 512, 2048] {
-            let geometry = CacheGeometry {
-                total_pages: cache_pages,
-                ways: 16,
-                page_size: PAGE,
-            };
+            let geometry = CacheGeometry { total_pages: cache_pages, ways: 16, page_size: PAGE };
             let raid = RaidModel::paper_default(8192);
             let mut p = build_policy(kind, geometry, raid, 5);
             let mut rng = seeded_rng(5);
@@ -329,7 +336,8 @@ mod degraded {
                 for (lba, want) in &reference {
                     let got = path.read(*lba);
                     assert_eq!(
-                        &got, want,
+                        &got,
+                        want,
                         "baseline {} lba {lba} wrong with disk {failed_disk} failed",
                         name(&kind)
                     );
@@ -371,8 +379,9 @@ mod degraded {
                 SsdDevice::with_logical_capacity((cache_pages + 64) * PAGE as u64, PAGE, 0.07);
             let geometry = CacheGeometry { total_pages: cache_pages, ways: 8, page_size: PAGE };
             let mut engine = KddEngine::new(KddConfig::new(geometry), ssd, raid).expect("engine");
-            let injector =
-                FaultInjector::new(FaultPlan::new().drop_device(150, FaultDomain::Disk(failed_disk)));
+            let injector = FaultInjector::new(
+                FaultPlan::new().drop_device(150, FaultDomain::Disk(failed_disk)),
+            );
             engine.attach_fault_injector(injector);
 
             let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();

@@ -124,12 +124,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            iters: DEFAULT_ITERS,
-            throughput: None,
-            _parent: self,
-        }
+        BenchmarkGroup { name: name.into(), iters: DEFAULT_ITERS, throughput: None, _parent: self }
     }
 
     /// Run one stand-alone named benchmark.
@@ -145,6 +140,7 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Generated benchmark group runner.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
@@ -171,9 +167,9 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("g");
         let mut count = 0u64;
-        g.sample_size(5).throughput(Throughput::Bytes(8)).bench_function("count", |b| {
-            b.iter(|| count += 1)
-        });
+        g.sample_size(5)
+            .throughput(Throughput::Bytes(8))
+            .bench_function("count", |b| b.iter(|| count += 1));
         g.finish();
         assert_eq!(count, 5);
 
