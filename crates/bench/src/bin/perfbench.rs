@@ -1,0 +1,378 @@
+//! `perfbench` — self-timed hot-path throughput harness.
+//!
+//! Measures (a) the raw kernels (GF(2^8) bulk multiply, XOR delta,
+//! delta codec) in ns/iter and MB/s, and (b) end-to-end engine replay
+//! ops/s on the seeded synthetic traces, then merges the results into
+//! `BENCH_kernels.json` / `BENCH_engine.json` (schema: EXPERIMENTS.md
+//! "Perf trajectory"). Unlike the criterion benches this needs no
+//! nightly features and finishes in seconds, so CI can run it on every
+//! push (`--smoke`) and the committed files preserve the before/after
+//! trajectory across optimisation PRs.
+//!
+//! ```text
+//! perfbench                         # full run, label "current"
+//! perfbench --label after           # record under a named run
+//! perfbench --smoke                 # fast CI variant (same schema)
+//! perfbench --validate              # check committed BENCH files only
+//! ```
+//!
+//! Determinism note: workloads and data are fully seeded; only the
+//! timings vary run to run (the bench crate is exempt from KDD003).
+
+// Indexing and narrowing casts here are bounds-audited (offsets from
+// length-checked parses; sizes bounded by construction). See DESIGN.md
+// "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+#![allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use kdd_bench::perfjson::{self, obj, Json};
+use kdd_blockdev::SsdDevice;
+use kdd_cache::CacheGeometry;
+use kdd_core::{KddConfig, KddEngine};
+use kdd_delta::codec::{compress, decompress};
+use kdd_delta::content::PageMutator;
+use kdd_delta::xor::{is_all_zero, xor2_into, xor_into, xor_pages, xor_pages_into, zero_fraction};
+use kdd_raid::{gf256, Layout, RaidArray, RaidLevel};
+use kdd_trace::synth::PaperTrace;
+use kdd_trace::Op;
+use kdd_util::units::SimTime;
+
+const PAGE: usize = 4096;
+const KERNELS_FILE: &str = "BENCH_kernels.json";
+const ENGINE_FILE: &str = "BENCH_engine.json";
+
+struct Opts {
+    label: String,
+    smoke: bool,
+    validate: bool,
+    out_dir: String,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perfbench [--label NAME] [--smoke] [--validate] [--out-dir DIR]");
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        label: "current".to_string(),
+        smoke: false,
+        validate: false,
+        out_dir: ".".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--label" => opts.label = it.next().unwrap_or_else(|| usage()),
+            "--smoke" => opts.smoke = true,
+            "--validate" => opts.validate = true,
+            "--out-dir" => opts.out_dir = it.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Time `f` with auto-calibrated batching: estimate the per-iter cost,
+/// size batches to ~`round_ns` of wall time, run `rounds` batches, and
+/// report the *minimum* batch mean (least-noise estimator on a shared
+/// machine). Returns ns/iter.
+fn time_ns(rounds: usize, round_ns: u64, mut f: impl FnMut()) -> f64 {
+    // Warm up + estimate.
+    let probe = 8;
+    let t0 = Instant::now();
+    for _ in 0..probe {
+        f();
+    }
+    let est = (t0.elapsed().as_nanos() as u64 / probe as u64).max(1);
+    let iters = (round_ns / est).clamp(8, 4_000_000) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    best
+}
+
+fn mb_per_s(bytes: usize, ns: f64) -> f64 {
+    bytes as f64 / ns * 1e9 / 1e6
+}
+
+fn kernel_entry(name: &str, bytes: usize, ns: f64) -> Json {
+    obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("ns_per_iter", Json::Num((ns * 1000.0).round() / 1000.0)),
+        ("mb_per_s", Json::Num(mb_per_s(bytes, ns).round())),
+    ])
+}
+
+fn bench_kernels(smoke: bool) -> Vec<Json> {
+    let (rounds, round_ns) = if smoke { (2, 2_000_000) } else { (5, 20_000_000) };
+    let mut entries = Vec::new();
+
+    // Deterministic page contents shared by all kernel benches.
+    let data: Vec<u8> = (0..PAGE).map(|i| (i % 251) as u8).collect();
+    let mut mutator = PageMutator::new(PAGE, 0.10, 64, 7);
+    let p0 = mutator.initial_page();
+    let p1 = mutator.mutate(&p0);
+    let delta = xor_pages(&p0, &p1);
+    let compressed = compress(&delta);
+
+    // GF(2^8) bulk multiply: 0x1d = g^8 (the RAID-6 coefficient the
+    // criterion bench pins) and g^1 = 2 (the first Q-parity term).
+    let mut dst = vec![0u8; PAGE];
+    let ns = time_ns(rounds, round_ns, || {
+        gf256::mul_slice_into(black_box(&mut dst), black_box(&data), 0x1d);
+    });
+    entries.push(kernel_entry("gf256_mul_slice_4k", PAGE, ns));
+    eprintln!("  gf256_mul_slice_4k       {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let ns = time_ns(rounds, round_ns, || {
+        gf256::mul_slice_into(black_box(&mut dst), black_box(&data), 0x02);
+    });
+    entries.push(kernel_entry("gf256_mul_slice_4k_c2", PAGE, ns));
+    eprintln!("  gf256_mul_slice_4k_c2    {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    // A coefficient outside the g^0..g^15 whitelist exercises the
+    // split-nibble table fallback (cold reconstruction path).
+    let ns = time_ns(rounds, round_ns, || {
+        gf256::mul_slice_into(black_box(&mut dst), black_box(&data), 0xb7);
+    });
+    entries.push(kernel_entry("gf256_mul_slice_4k_cold", PAGE, ns));
+    eprintln!("  gf256_mul_slice_4k_cold  {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    // Fused P+Q update: one source pass feeding both parities — the
+    // RAID-6 RMW/reconstruct inner loop.
+    let mut qdst = vec![0u8; PAGE];
+    let ns = time_ns(rounds, round_ns, || {
+        gf256::mul2_slice_into(black_box(&mut dst), black_box(&mut qdst), black_box(&data), 0x1d);
+    });
+    entries.push(kernel_entry("gf256_mul2_slice_4k", PAGE, ns));
+    eprintln!("  gf256_mul2_slice_4k      {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    // XOR delta kernels.
+    let mut buf = p0.clone();
+    let ns = time_ns(rounds, round_ns, || {
+        xor_into(black_box(&mut buf), black_box(&p1));
+    });
+    entries.push(kernel_entry("xor_into_4k", PAGE, ns));
+    eprintln!("  xor_into_4k              {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let ns = time_ns(rounds, round_ns, || {
+        black_box(xor_pages(black_box(&p0), black_box(&p1)));
+    });
+    entries.push(kernel_entry("xor_pages_4k", PAGE, ns));
+    eprintln!("  xor_pages_4k             {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let mut out = vec![0u8; PAGE];
+    let ns = time_ns(rounds, round_ns, || {
+        xor_pages_into(black_box(&mut out), black_box(&p0), black_box(&p1));
+    });
+    entries.push(kernel_entry("xor_pages_into_4k", PAGE, ns));
+    eprintln!("  xor_pages_into_4k        {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let mut acc2 = p0.clone();
+    let ns = time_ns(rounds, round_ns, || {
+        xor2_into(black_box(&mut acc2), black_box(&mut out), black_box(&p1));
+    });
+    entries.push(kernel_entry("xor2_into_4k", PAGE, ns));
+    eprintln!("  xor2_into_4k             {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let ns = time_ns(rounds, round_ns, || {
+        black_box(zero_fraction(black_box(&delta)));
+    });
+    entries.push(kernel_entry("zero_fraction_4k", PAGE, ns));
+    eprintln!("  zero_fraction_4k         {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let zeros = vec![0u8; PAGE];
+    let ns = time_ns(rounds, round_ns, || {
+        black_box(is_all_zero(black_box(&zeros)));
+    });
+    entries.push(kernel_entry("is_all_zero_4k", PAGE, ns));
+    eprintln!("  is_all_zero_4k           {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    // Delta codec round trip.
+    let ns = time_ns(rounds, round_ns, || {
+        black_box(compress(black_box(&delta)));
+    });
+    entries.push(kernel_entry("compress_4k_delta", PAGE, ns));
+    eprintln!("  compress_4k_delta        {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    let ns = time_ns(rounds, round_ns, || {
+        black_box(decompress(black_box(&compressed)).ok());
+    });
+    entries.push(kernel_entry("decompress_4k_delta", PAGE, ns));
+    eprintln!("  decompress_4k_delta      {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    entries
+}
+
+/// Build the reference engine used for replay (same shape as
+/// `examples/endurance_audit.rs`): RAID-5 over 5 disks with a 512-page
+/// delta cache.
+fn build_engine() -> (KddEngine, u64) {
+    let layout = Layout::new(RaidLevel::Raid5, 5, 16, 16 * 128);
+    let capacity = layout.capacity_pages();
+    let raid = RaidArray::new(layout, PAGE as u32);
+    let ssd = SsdDevice::with_logical_capacity((512 + 64) * PAGE as u64, PAGE as u32, 0.07);
+    let geometry = CacheGeometry { total_pages: 512, ways: 64, page_size: PAGE as u32 };
+    let engine = match KddEngine::new(KddConfig::new(geometry), ssd, raid) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("engine construction failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    (engine, capacity)
+}
+
+/// Replay one synthetic trace through the full engine (cache + delta +
+/// RAID on real bytes) and report the sustained request rate.
+fn replay_trace(pt: PaperTrace, scale: u64, seed: u64) -> (u64, f64) {
+    let trace = pt.generate_scaled(scale, seed);
+    let (mut engine, capacity) = build_engine();
+    let mut mutator = PageMutator::new(PAGE, 0.15, 64, seed ^ 0x9e37);
+    // Current content of every written page, so rewrites are *mutations*
+    // (exercising the delta path) rather than fresh random pages.
+    let mut versions: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+
+    let mut ops = 0u64;
+    let t0 = Instant::now();
+    for rec in &trace.records {
+        for page in rec.pages() {
+            let lba = page % capacity;
+            match rec.op {
+                Op::Read => {
+                    if engine.read(lba).is_err() {
+                        eprintln!("replay read error at lba {lba}");
+                        std::process::exit(1);
+                    }
+                }
+                Op::Write => {
+                    let next = match versions.get(&lba) {
+                        Some(prev) => mutator.mutate(prev),
+                        None => mutator.initial_page(),
+                    };
+                    if let Err(e) = engine.write(lba, &next) {
+                        eprintln!("replay write error at lba {lba}: {e}");
+                        std::process::exit(1);
+                    }
+                    versions.insert(lba, next);
+                }
+            }
+            ops += 1;
+        }
+    }
+    let mut t = SimTime::ZERO;
+    if engine.clean(&mut t).is_err() || engine.flush().is_err() {
+        eprintln!("replay cleanup error");
+        std::process::exit(1);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (ops, wall)
+}
+
+fn bench_engine(smoke: bool) -> Vec<Json> {
+    let traces: &[PaperTrace] = if smoke { &[PaperTrace::Fin1] } else { &PaperTrace::ALL };
+    let scale = if smoke { 5000 } else { 500 };
+    let mut entries = Vec::new();
+    for &pt in traces {
+        let name = format!("engine_replay_{pt:?}").to_lowercase();
+        let (ops, wall) = replay_trace(pt, scale, 42);
+        let ops_per_s = ops as f64 / wall.max(1e-9);
+        eprintln!("  {name:<24} {ops:>8} ops  {:8.1} ms  {:9.0} ops/s", wall * 1e3, ops_per_s);
+        entries.push(obj(vec![
+            ("name", Json::Str(name)),
+            ("ops", Json::Num(ops as f64)),
+            ("wall_ms", Json::Num((wall * 1e5).round() / 100.0)),
+            ("ops_per_s", Json::Num(ops_per_s.round())),
+        ]));
+    }
+    entries
+}
+
+fn load_doc(path: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match perfjson::parse(&text) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            eprintln!("warning: {path} is not valid JSON ({e}); starting fresh");
+            None
+        }
+    }
+}
+
+fn write_doc(path: &str, kind: &str, label: &str, mode: &str, entries: Vec<Json>) {
+    let run = obj(vec![
+        ("label", Json::Str(label.to_string())),
+        ("mode", Json::Str(mode.to_string())),
+        ("entries", Json::Arr(entries)),
+    ]);
+    let doc = perfjson::merge_run(load_doc(path), kind, PAGE as u32, run);
+    let problems = perfjson::validate(&doc, kind);
+    if !problems.is_empty() {
+        eprintln!("refusing to write invalid {path}:");
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(path, doc.render()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path} (run label {label:?})");
+}
+
+fn validate_files(out_dir: &str) -> ! {
+    let mut failed = false;
+    for (file, kind) in [(KERNELS_FILE, "kernels"), (ENGINE_FILE, "engine")] {
+        let path = format!("{out_dir}/{file}");
+        let Some(doc) = load_doc(&path) else {
+            eprintln!("{path}: missing or unparseable");
+            failed = true;
+            continue;
+        };
+        let problems = perfjson::validate(&doc, kind);
+        if problems.is_empty() {
+            let runs = doc.get("runs").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+            eprintln!("{path}: ok ({runs} runs)");
+        } else {
+            failed = true;
+            for p in &problems {
+                eprintln!("{path}: {p}");
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
+fn main() {
+    let opts = parse_opts();
+    if opts.validate {
+        validate_files(&opts.out_dir);
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("cannot create {}: {e}", opts.out_dir);
+        std::process::exit(1);
+    }
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    eprintln!("perfbench: kernels ({mode}) ...");
+    let kernel_entries = bench_kernels(opts.smoke);
+    eprintln!("perfbench: engine replay ({mode}) ...");
+    let engine_entries = bench_engine(opts.smoke);
+
+    let kpath = format!("{}/{KERNELS_FILE}", opts.out_dir);
+    let epath = format!("{}/{ENGINE_FILE}", opts.out_dir);
+    write_doc(&kpath, "kernels", &opts.label, mode, kernel_entries);
+    write_doc(&epath, "engine", &opts.label, mode, engine_entries);
+}

@@ -11,6 +11,7 @@
 //! preserves every qualitative relationship.
 
 pub mod experiments;
+pub mod perfjson;
 pub mod report;
 
 pub use experiments::*;

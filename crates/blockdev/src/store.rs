@@ -125,7 +125,21 @@ impl PageStore for MemStore {
     fn write_page(&mut self, lpn: u64, data: &[u8]) -> Result<(), DevError> {
         self.check(lpn)?;
         assert_eq!(data.len(), self.page_size as usize, "buffer/page size mismatch");
+        if self.injector.is_none() {
+            // Fast path: without an injector no write can be torn or failed,
+            // so the previous-content snapshot is unnecessary and a resident
+            // page can be overwritten in place (no allocation at all).
+            match self.pages.get_mut(&lpn) {
+                Some(page) => page.copy_from_slice(data),
+                None => {
+                    self.pages.insert(lpn, data.into());
+                }
+            }
+            return Ok(());
+        }
         let outcome = self.intercept(IoDir::Write);
+        // kdd-waiver(KDD006): torn-write emulation needs the pre-image; this
+        // runs only under fault injection, never on the hot path.
         let mut previous = vec![0u8; self.page_size as usize];
         if let Some(old) = self.pages.get(&lpn) {
             previous.copy_from_slice(old);

@@ -64,15 +64,39 @@ impl std::error::Error for CompressError {}
 // Long runs are emitted as multiple tokens (a 4 KiB all-zero page costs
 // 32 control bytes).
 
+/// Load 8 little-endian bytes at `pos` (caller guarantees `pos + 8 <= len`).
+#[inline]
+fn le_word_at(data: &[u8], pos: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&data[pos..pos + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Length of the run of `0x00` bytes starting at `start`, scanned a word at
+/// a time; the first non-zero byte is located with `trailing_zeros` on the
+/// little-endian word, so memory order maps to bit order.
+#[inline]
+fn zero_run_len(data: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i + 8 <= data.len() {
+        let w = le_word_at(data, i);
+        if w != 0 {
+            return i + (w.trailing_zeros() / 8) as usize - start;
+        }
+        i += 8;
+    }
+    while i < data.len() && data[i] == 0 {
+        i += 1;
+    }
+    i - start
+}
+
 fn zero_rle_compress(data: &[u8], out: &mut Vec<u8>) {
     let mut i = 0;
     while i < data.len() {
         if data[i] == 0 {
-            let start = i;
-            while i < data.len() && data[i] == 0 {
-                i += 1;
-            }
-            let mut run = i - start;
+            let mut run = zero_run_len(data, i);
+            i += run;
             while run > 0 {
                 let n = run.min(128);
                 out.push(0x7F + n as u8);
@@ -87,9 +111,7 @@ fn zero_rle_compress(data: &[u8], out: &mut Vec<u8>) {
             while i < data.len() {
                 if data[i] == 0 {
                     let zstart = i;
-                    while i < data.len() && data[i] == 0 {
-                        i += 1;
-                    }
+                    i += zero_run_len(data, i);
                     if i - zstart >= 2 || i == data.len() {
                         i = zstart;
                         break;
@@ -174,11 +196,22 @@ fn lz_compress(data: &[u8], out: &mut Vec<u8>) {
             && i - cand <= u16::MAX as usize
             && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH]
         {
-            // Extend the match.
+            // Extend the match, eight bytes at a time: XOR the two windows
+            // and locate the first differing byte with `trailing_zeros`.
             let max_len = (data.len() - i).min(MAX_MATCH);
             let mut len = MIN_MATCH;
-            while len < max_len && data[cand + len] == data[i + len] {
-                len += 1;
+            while len + 8 <= max_len {
+                let x = le_word_at(data, cand + len) ^ le_word_at(data, i + len);
+                if x != 0 {
+                    len += (x.trailing_zeros() / 8) as usize;
+                    break;
+                }
+                len += 8;
+            }
+            if len + 8 > max_len {
+                while len < max_len && data[cand + len] == data[i + len] {
+                    len += 1;
+                }
             }
             flush_literals(out, lit_start, i);
             out.push(0x80 | (len - MIN_MATCH) as u8);

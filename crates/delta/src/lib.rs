@@ -28,4 +28,4 @@ pub mod xor;
 pub use codec::{compress, decompress, CompressError, DeltaCodec};
 pub use content::PageMutator;
 pub use model::{DeltaSizeModel, FixedDeltaModel, GaussianDeltaModel};
-pub use xor::{xor_into, xor_pages, zero_fraction};
+pub use xor::{is_all_zero, xor2_into, xor_into, xor_pages, xor_pages_into, zero_fraction};

@@ -41,11 +41,63 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// XOR `src` into *two* destinations in one pass (`d1[i] ^= src[i]`,
+/// `d2[i] ^= src[i]`). Used where a delta must be folded into both the P
+/// parity and another accumulator without re-reading `src`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn xor2_into(d1: &mut [u8], d2: &mut [u8], src: &[u8]) {
+    assert_eq!(d1.len(), src.len(), "xor operands must have equal length");
+    assert_eq!(d2.len(), src.len(), "xor operands must have equal length");
+    let body = src.len() / 8 * 8;
+    let (d1_body, d1_tail) = d1.split_at_mut(body);
+    let (d2_body, d2_tail) = d2.split_at_mut(body);
+    let (src_body, src_tail) = src.split_at(body);
+    for ((a, b), s) in
+        d1_body.chunks_exact_mut(8).zip(d2_body.chunks_exact_mut(8)).zip(src_body.chunks_exact(8))
+    {
+        let w = ne_word(s);
+        let x = ne_word(a) ^ w;
+        a.copy_from_slice(&x.to_ne_bytes());
+        let y = ne_word(b) ^ w;
+        b.copy_from_slice(&y.to_ne_bytes());
+    }
+    for ((a, b), s) in d1_tail.iter_mut().zip(d2_tail.iter_mut()).zip(src_tail) {
+        *a ^= s;
+        *b ^= s;
+    }
+}
+
+/// XOR two pages into a caller-provided buffer (`out[i] = old[i] ^ new[i]`)
+/// without allocating — the zero-alloc twin of [`xor_pages`].
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn xor_pages_into(out: &mut [u8], old: &[u8], new: &[u8]) {
+    assert_eq!(out.len(), old.len(), "xor operands must have equal length");
+    assert_eq!(out.len(), new.len(), "xor operands must have equal length");
+    let body = out.len() / 8 * 8;
+    let (out_body, out_tail) = out.split_at_mut(body);
+    let (old_body, old_tail) = old.split_at(body);
+    let (new_body, new_tail) = new.split_at(body);
+    for ((o, a), b) in
+        out_body.chunks_exact_mut(8).zip(old_body.chunks_exact(8)).zip(new_body.chunks_exact(8))
+    {
+        let x = ne_word(a) ^ ne_word(b);
+        o.copy_from_slice(&x.to_ne_bytes());
+    }
+    for ((o, a), b) in out_tail.iter_mut().zip(old_tail).zip(new_tail) {
+        *o = a ^ b;
+    }
+}
+
 /// XOR two pages into a fresh buffer (the delta of `old` and `new`).
 ///
 /// # Panics
 /// Panics if lengths differ.
 pub fn xor_pages(old: &[u8], new: &[u8]) -> Vec<u8> {
+    // kdd-waiver(KDD006): allocating convenience wrapper; hot paths use `xor_pages_into`.
     let mut out = old.to_vec();
     xor_into(&mut out, new);
     out
@@ -53,18 +105,30 @@ pub fn xor_pages(old: &[u8], new: &[u8]) -> Vec<u8> {
 
 /// Fraction of bytes in `buf` that are zero — a cheap proxy for how well an
 /// XOR delta will compress (used by tests and diagnostics).
+///
+/// Zero bytes are counted eight at a time with the SWAR zero-byte detect
+/// (`(w - LO) & !w & HI` sets each byte's high bit iff the byte is zero).
 pub fn zero_fraction(buf: &[u8]) -> f64 {
     if buf.is_empty() {
         return 1.0;
     }
-    let zeros = buf.iter().filter(|&&b| b == 0).count();
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let body = buf.len() / 8 * 8;
+    let (head, tail) = buf.split_at(body);
+    let mut zeros: u64 = 0;
+    for c in head.chunks_exact(8) {
+        let w = ne_word(c);
+        zeros += u64::from((w.wrapping_sub(LO) & !w & HI).count_ones());
+    }
+    zeros += tail.iter().filter(|&&b| b == 0).count() as u64;
     zeros as f64 / buf.len() as f64
 }
 
 /// True if every byte of `buf` is zero (word-wide scan).
 pub fn is_all_zero(buf: &[u8]) -> bool {
     let body = buf.len() / 8 * 8;
-    let (head, tail) = buf.split_at(body.min(buf.len()));
+    let (head, tail) = buf.split_at(body);
     head.chunks_exact(8).all(|c| ne_word(c) == 0) && tail.iter().all(|&b| b == 0)
 }
 
@@ -118,5 +182,49 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut a = [0u8; 4];
         xor_into(&mut a, &[0u8; 5]);
+    }
+
+    #[test]
+    fn xor2_matches_two_single_passes() {
+        for len in [0usize, 1, 7, 8, 9, 13, 64, 65, 4096] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let a0: Vec<u8> = (0..len).map(|i| (i * 5 + 3) as u8).collect();
+            let b0: Vec<u8> = (0..len).map(|i| (i * 91 + 7) as u8).collect();
+            let (mut a, mut b) = (a0.clone(), b0.clone());
+            xor2_into(&mut a, &mut b, &src);
+            let (mut ea, mut eb) = (a0, b0);
+            xor_into(&mut ea, &src);
+            xor_into(&mut eb, &src);
+            assert_eq!(a, ea, "len={len}");
+            assert_eq!(b, eb, "len={len}");
+        }
+    }
+
+    #[test]
+    fn xor_pages_into_matches_alloc_version() {
+        for len in [0usize, 1, 9, 13, 4096] {
+            let old: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let new: Vec<u8> = (0..len).map(|i| (i % 193) as u8).collect();
+            let mut out = vec![0xEEu8; len];
+            xor_pages_into(&mut out, &old, &new);
+            assert_eq!(out, xor_pages(&old, &new), "len={len}");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_word_scan_matches_bytewise() {
+        for len in [0usize, 1, 7, 8, 9, 31, 4096] {
+            let buf: Vec<u8> =
+                (0..len).map(|i| if i % 3 == 0 { 0 } else { (i * 17 + 1) as u8 }).collect();
+            let expect = if len == 0 {
+                1.0
+            } else {
+                buf.iter().filter(|&&b| b == 0).count() as f64 / len as f64
+            };
+            assert_eq!(zero_fraction(&buf), expect, "len={len}");
+        }
+        // 0x80 must not trip the SWAR zero detect.
+        assert_eq!(zero_fraction(&[0x80u8; 16]), 0.0);
+        assert_eq!(zero_fraction(&[0x01u8; 16]), 0.0);
     }
 }

@@ -1,0 +1,91 @@
+//! Property tests: the word-wise GF(2^8) bulk kernels against the scalar
+//! table multiply, across every coefficient (const-specialised chains
+//! *and* the split-nibble fallback) and odd/unaligned lengths.
+
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
+use kdd_raid::gf256;
+use proptest::prelude::*;
+
+/// Deterministic "random-looking" page content.
+fn content(len: usize, salt: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt).rotate_left(3)).collect()
+}
+
+/// Every coefficient × a sweep of word-tail lengths, checked against the
+/// scalar field multiply byte by byte. This covers all sixteen
+/// const-specialised chains (g^0..g^15) and the nibble fallback.
+#[test]
+fn all_256_coefficients_match_scalar_mul() {
+    for c in 0u8..=255 {
+        for len in [0usize, 1, 7, 8, 9, 31, 63, 64, 65, 300, 301, 511, 4096] {
+            let src = content(len, c);
+            let init = content(len, c.wrapping_add(97));
+            let mut dst = init.clone();
+            gf256::mul_slice_into(&mut dst, &src, c);
+            for (i, ((&d, &s), &d0)) in dst.iter().zip(&src).zip(&init).enumerate() {
+                assert_eq!(
+                    d,
+                    d0 ^ gf256::mul(c, s),
+                    "mul_slice_into mismatch c={c:#04x} len={len} i={i}"
+                );
+            }
+        }
+    }
+}
+
+/// Same sweep for the fused P+Q kernel: P accumulates the raw bytes,
+/// Q accumulates `c·src`, in one pass.
+#[test]
+fn all_256_coefficients_match_fused_pq() {
+    for c in 0u8..=255 {
+        for len in [0usize, 1, 7, 8, 9, 31, 300, 301] {
+            let src = content(len, c.wrapping_add(7));
+            let p0 = content(len, 0x11);
+            let q0 = content(len, 0x77);
+            let mut p = p0.clone();
+            let mut q = q0.clone();
+            gf256::mul2_slice_into(&mut p, &mut q, &src, c);
+            for i in 0..len {
+                assert_eq!(p[i], p0[i] ^ src[i], "fused P mismatch c={c:#04x} len={len} i={i}");
+                assert_eq!(
+                    q[i],
+                    q0[i] ^ gf256::mul(c, src[i]),
+                    "fused Q mismatch c={c:#04x} len={len} i={i}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random content, length and coefficient: the bulk kernel equals the
+    /// scalar multiply, and the fused kernel equals two single passes.
+    #[test]
+    fn bulk_kernels_match_scalar(
+        src in proptest::collection::vec(any::<u8>(), 0..600),
+        init in any::<u8>(),
+        c in any::<u8>(),
+    ) {
+        let len = src.len();
+        let d0 = content(len, init);
+        let mut dst = d0.clone();
+        gf256::mul_slice_into(&mut dst, &src, c);
+        for i in 0..len {
+            prop_assert_eq!(dst[i], d0[i] ^ gf256::mul(c, src[i]));
+        }
+
+        let mut p = d0.clone();
+        let mut q = dst.clone();
+        let q0 = q.clone();
+        gf256::mul2_slice_into(&mut p, &mut q, &src, c);
+        for i in 0..len {
+            prop_assert_eq!(p[i], d0[i] ^ src[i]);
+            prop_assert_eq!(q[i], q0[i] ^ gf256::mul(c, src[i]));
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`lru`] — an intrusive, slab-backed LRU list used by the set-associative
 //!   cache;
 //! * [`hash`] — a fast 64-bit mixing hash used to map LBAs to cache sets;
+//! * [`pool`] — a bounded free list of page buffers so hot paths recycle
+//!   pages instead of allocating per operation;
 //! * [`rng`] — deterministic RNG construction helpers;
 //! * [`units`] — simulated-time and byte-size newtypes.
 
@@ -16,12 +18,14 @@
 
 pub mod hash;
 pub mod lru;
+pub mod pool;
 pub mod rng;
 pub mod sampler;
 pub mod stats;
 pub mod units;
 
 pub use hash::mix64;
+pub use pool::PagePool;
 pub use rng::seeded_rng;
 pub use sampler::{ClampedGaussian, Gaussian, Zipf};
 pub use stats::{Histogram, RatioCounter, StreamingStats};

@@ -1,0 +1,32 @@
+//! Property test: page recycling never leaks stale bytes — every
+//! [`PagePool::acquire`] returns an all-zero page regardless of the
+//! acquire/release interleaving and however dirty released pages were.
+
+use kdd_util::PagePool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recycling_never_leaks_stale_bytes(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200),
+        page_size in 1usize..256,
+    ) {
+        let mut pool = PagePool::with_capacity(page_size, 8);
+        let mut held: Vec<Box<[u8]>> = Vec::new();
+        for (acquire, fill) in ops {
+            if acquire || held.is_empty() {
+                let mut page = pool.acquire();
+                prop_assert_eq!(page.len(), page_size);
+                prop_assert!(page.iter().all(|&b| b == 0), "stale bytes leaked");
+                page.fill(fill); // dirty the page before giving it back
+                held.push(page);
+            } else if let Some(page) = held.pop() {
+                pool.release(page);
+            }
+        }
+        let (acquired, recycled) = pool.stats();
+        prop_assert!(recycled <= acquired);
+    }
+}

@@ -17,6 +17,7 @@
 //! | `KDD003` | `determinism` | wall-clock time, `thread_rng`, and default-hasher `HashMap`/`HashSet` outside `bench`/`cli` |
 //! | `KDD004` | `stale-parity` | `write_no_parity_update` call sites in modules that never repair or register stale parity |
 //! | `KDD005` | `indexing-slicing` | unchecked slice indexing in the I/O-path crates (pedantic, `--pedantic` only) |
+//! | `KDD006` | `hot-alloc` | per-op allocations (`vec![0u8; …]`, `.to_vec()`, `.clone()`) in the hot-path files — use the `PagePool` |
 //!
 //! ## Waivers
 //!
@@ -26,9 +27,17 @@
 //! // kdd-lint: allow(no-panic) -- length checked two lines above
 //! ```
 //!
+//! An equivalent shorthand names the rule by ID with the reason after a
+//! colon (the conventional spelling for `KDD006`):
+//!
+//! ```text
+//! // kdd-waiver(KDD006): page is returned to the caller by value
+//! ```
+//!
 //! The waiver applies to code on the same line, or — when the comment stands
 //! alone — to the next line with code on it. A waiver without ` -- <reason>`
-//! is itself a violation (`KDD000`).
+//! (or, for the shorthand, without text after the colon) is itself a
+//! violation (`KDD000`).
 //!
 //! The engine is line/token-aware, not AST-aware: comments and string
 //! literals are scrubbed before matching, `#[cfg(test)]` / `#[test]` regions
@@ -71,6 +80,21 @@ const PANIC_TOKENS: &[&str] =
 const NONDETERMINISM_TOKENS: &[&str] =
     &["Instant::now", "SystemTime", "std::time::", "thread_rng", "rand::random"];
 
+/// Files whose per-op code paths are hot enough that page-sized allocations
+/// are a measured throughput cost (rule `KDD006`): these must recycle
+/// buffers through `kdd_util::PagePool` or carry a written waiver.
+pub const HOT_ALLOC_FILES: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/raid/src/array.rs",
+    "crates/cache/src/setassoc.rs",
+    "crates/delta/src/xor.rs",
+    "crates/delta/src/codec.rs",
+    "crates/blockdev/src/store.rs",
+];
+
+/// Allocation tokens rule `KDD006` flags in hot-path files.
+const HOT_ALLOC_TOKENS: &[&str] = &["vec![0u8;", ".to_vec()", ".clone()"];
+
 /// Tokens that prove a module repairs or registers stale parity (`KDD004`).
 const STALE_REPAIR_TOKENS: &[&str] = &[
     ".parity_update_with_data(",
@@ -96,6 +120,8 @@ pub enum Rule {
     StaleParity,
     /// `KDD005` — unchecked slice indexing (pedantic).
     IndexingSlicing,
+    /// `KDD006` — per-op allocation on a hot-path file.
+    HotAlloc,
 }
 
 impl Rule {
@@ -108,6 +134,7 @@ impl Rule {
             Rule::Determinism => "KDD003",
             Rule::StaleParity => "KDD004",
             Rule::IndexingSlicing => "KDD005",
+            Rule::HotAlloc => "KDD006",
         }
     }
 
@@ -120,6 +147,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::StaleParity => "stale-parity",
             Rule::IndexingSlicing => "indexing-slicing",
+            Rule::HotAlloc => "hot-alloc",
         }
     }
 
@@ -132,6 +160,7 @@ impl Rule {
             Rule::Determinism,
             Rule::StaleParity,
             Rule::IndexingSlicing,
+            Rule::HotAlloc,
         ];
         all.into_iter().find(|r| r.name() == s || r.code() == s || r.code().eq_ignore_ascii_case(s))
     }
@@ -442,6 +471,20 @@ fn parse_waivers(raw: &str) -> Vec<Waiver> {
         out.push(Waiver { rule: None, reason: None, rule_text: String::new() });
         rest = after;
     }
+    // Shorthand form: `kdd-waiver(KDD006): reason`.
+    let mut rest = raw;
+    while let Some(pos) = rest.find("kdd-waiver(") {
+        let args = &rest[pos + "kdd-waiver(".len()..];
+        let Some(close) = args.find(')') else {
+            out.push(Waiver { rule: None, reason: None, rule_text: String::new() });
+            break;
+        };
+        let rule_text = args[..close].trim().to_string();
+        let tail = &args[close + 1..];
+        let reason = tail.strip_prefix(':').map(|r| r.trim().to_string()).filter(|r| !r.is_empty());
+        out.push(Waiver { rule: Rule::parse(&rule_text), reason, rule_text });
+        rest = tail;
+    }
     out
 }
 
@@ -590,6 +633,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
     let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
     let layering_restricted = LAYERING_RESTRICTED_CRATES.contains(&crate_name);
     let determinism_checked = !NONDETERMINISM_ALLOWED_CRATES.contains(&crate_name);
+    let hot_alloc_checked = HOT_ALLOC_FILES.iter().any(|f| rel_path.ends_with(f));
 
     for (i, line) in lines.iter().enumerate() {
         if line.in_test || line.code.trim().is_empty() {
@@ -636,6 +680,22 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
                              (go through `KddEngine`/`KddPolicy`)",
                             tok.trim_matches(|c| c == '.' || c == '('),
                             crate_name
+                        ),
+                    );
+                }
+            }
+        }
+        if hot_alloc_checked {
+            for tok in HOT_ALLOC_TOKENS {
+                if line.code.contains(tok) {
+                    emit(
+                        &mut report,
+                        Rule::HotAlloc,
+                        i,
+                        format!(
+                            "`{tok}` allocates per operation on a hot-path file: \
+                             recycle a buffer through `kdd_util::PagePool` or waive \
+                             with `// kdd-waiver(KDD006): <why this alloc is sound>`"
                         ),
                     );
                 }

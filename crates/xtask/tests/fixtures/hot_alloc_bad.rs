@@ -1,0 +1,11 @@
+// Per-op page-buffer allocations: every line below is a KDD006 finding
+// when linted under a hot-path rel_path such as crates/core/src/engine.rs.
+
+pub fn write_path(data: &[u8]) -> Vec<u8> {
+    let mut page = vec![0u8; 4096];
+    page[..data.len()].copy_from_slice(data);
+    let staged = data.to_vec();
+    let replay = staged.clone();
+    drop(replay);
+    page
+}

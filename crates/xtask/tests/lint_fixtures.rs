@@ -167,6 +167,48 @@ fn indexing_good_is_clean_under_pedantic() {
 }
 
 #[test]
+fn hot_alloc_bad_pins_every_site() {
+    // The hot-path filter keys on the rel_path, not the crate, so lint the
+    // fixture as if it were one of the six hot files.
+    let src = fixture("hot_alloc_bad.rs");
+    let report = lint_source("core", "crates/core/src/engine.rs", &src, Options::default());
+    let mut got: Vec<(Rule, usize)> = report.violations.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_by_key(|(r, l)| (*l, *r));
+    assert_eq!(
+        got,
+        vec![
+            (Rule::HotAlloc, 5), // vec![0u8; ...]
+            (Rule::HotAlloc, 7), // .to_vec()
+            (Rule::HotAlloc, 8), // .clone()
+        ]
+    );
+    let first = report.violations.first().expect("has violations");
+    assert_eq!(first.rule.code(), "KDD006");
+    assert_eq!(first.rule.name(), "hot-alloc");
+}
+
+#[test]
+fn hot_alloc_only_guards_hot_files() {
+    let src = fixture("hot_alloc_bad.rs");
+    for rel in ["crates/core/src/metalog.rs", "hot_alloc_bad.rs"] {
+        let report = lint_source("core", rel, &src, Options::default());
+        assert_eq!(report.violations, vec![], "{rel} is not a hot-path file");
+    }
+}
+
+#[test]
+fn hot_alloc_good_is_clean_and_honours_shorthand_waiver() {
+    let src = fixture("hot_alloc_good.rs");
+    let report = lint_source("core", "crates/raid/src/array.rs", &src, Options::default());
+    assert_eq!(report.violations, vec![], "pooled + waived fixture must be clean");
+    assert_eq!(report.waivers.len(), 1, "one shorthand waiver honoured");
+    let w = &report.waivers[0];
+    assert_eq!(w.rule, Rule::HotAlloc);
+    assert_eq!(w.line, 13);
+    assert!(w.reason.contains("returned to the caller"));
+}
+
+#[test]
 fn rule_codes_are_stable() {
     for (rule, code, name) in [
         (Rule::Waiver, "KDD000", "waiver"),
@@ -175,6 +217,7 @@ fn rule_codes_are_stable() {
         (Rule::Determinism, "KDD003", "determinism"),
         (Rule::StaleParity, "KDD004", "stale-parity"),
         (Rule::IndexingSlicing, "KDD005", "indexing-slicing"),
+        (Rule::HotAlloc, "KDD006", "hot-alloc"),
     ] {
         assert_eq!(rule.code(), code);
         assert_eq!(rule.name(), name);

@@ -5,6 +5,10 @@
 //! throughput annotation, and the `criterion_group!`/`criterion_main!`
 //! macros. There is no statistical analysis or history — each benchmark runs
 //! a fixed number of timed iterations and prints the mean.
+//!
+//! Like real criterion, the harness honours `--test` (as passed by
+//! `cargo bench -- --test`): every routine runs exactly once, so CI can
+//! smoke-check that the benches execute without paying for timing runs.
 
 #![warn(missing_docs)]
 
@@ -37,7 +41,7 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(iters: u64) -> Self {
-        Bencher { iters, elapsed_ns: 0 }
+        Bencher { iters: effective_iters(iters), elapsed_ns: 0 }
     }
 
     /// Time `routine`, called `self.iters` times.
@@ -67,6 +71,20 @@ impl Bencher {
 }
 
 const DEFAULT_ITERS: u64 = 10;
+
+/// True when the binary was invoked with `--test` (what
+/// `cargo bench -- --test` forwards): run routines once, skip timing.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn effective_iters(requested: u64) -> u64 {
+    if test_mode() {
+        1
+    } else {
+        requested
+    }
+}
 
 fn report(name: &str, iters: u64, elapsed_ns: u128, throughput: Option<Throughput>) {
     let per_iter = if iters == 0 { 0 } else { elapsed_ns / iters as u128 };
