@@ -35,7 +35,9 @@ use kdd_core::{KddConfig, KddEngine};
 use kdd_delta::codec::{compress, decompress};
 use kdd_delta::content::PageMutator;
 use kdd_delta::xor::{is_all_zero, xor2_into, xor_into, xor_pages, xor_pages_into, zero_fraction};
+use kdd_obs::{Recorder, RecorderConfig};
 use kdd_raid::{gf256, Layout, RaidArray, RaidLevel};
+use kdd_trace::record::Trace;
 use kdd_trace::synth::PaperTrace;
 use kdd_trace::Op;
 use kdd_util::units::SimTime;
@@ -43,6 +45,7 @@ use kdd_util::units::SimTime;
 const PAGE: usize = 4096;
 const KERNELS_FILE: &str = "BENCH_kernels.json";
 const ENGINE_FILE: &str = "BENCH_engine.json";
+const OBS_FILE: &str = "OBS_engine.json";
 
 struct Opts {
     label: String,
@@ -235,18 +238,14 @@ fn build_engine() -> (KddEngine, u64) {
     (engine, capacity)
 }
 
-/// Replay one synthetic trace through the full engine (cache + delta +
-/// RAID on real bytes) and report the sustained request rate.
-fn replay_trace(pt: PaperTrace, scale: u64, seed: u64) -> (u64, f64) {
-    let trace = pt.generate_scaled(scale, seed);
-    let (mut engine, capacity) = build_engine();
+/// Drive a seeded trace through `engine` (rewrites are mutations of the
+/// previous content so the delta path is exercised); returns ops issued.
+fn drive_engine(engine: &mut KddEngine, capacity: u64, trace: &Trace, seed: u64) -> u64 {
     let mut mutator = PageMutator::new(PAGE, 0.15, 64, seed ^ 0x9e37);
     // Current content of every written page, so rewrites are *mutations*
     // (exercising the delta path) rather than fresh random pages.
     let mut versions: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
-
     let mut ops = 0u64;
-    let t0 = Instant::now();
     for rec in &trace.records {
         for page in rec.pages() {
             let lba = page % capacity;
@@ -272,6 +271,16 @@ fn replay_trace(pt: PaperTrace, scale: u64, seed: u64) -> (u64, f64) {
             ops += 1;
         }
     }
+    ops
+}
+
+/// Replay one synthetic trace through the full engine (cache + delta +
+/// RAID on real bytes) and report the sustained request rate.
+fn replay_trace(pt: PaperTrace, scale: u64, seed: u64) -> (u64, f64) {
+    let trace = pt.generate_scaled(scale, seed);
+    let (mut engine, capacity) = build_engine();
+    let t0 = Instant::now();
+    let ops = drive_engine(&mut engine, capacity, &trace, seed);
     let mut t = SimTime::ZERO;
     if engine.clean(&mut t).is_err() || engine.flush().is_err() {
         eprintln!("replay cleanup error");
@@ -279,6 +288,42 @@ fn replay_trace(pt: PaperTrace, scale: u64, seed: u64) -> (u64, f64) {
     }
     let wall = t0.elapsed().as_secs_f64();
     (ops, wall)
+}
+
+/// Emit the committed observability snapshot: a fixed seeded Fin1 replay
+/// with an enabled recorder. Every stamp in the document is *simulated*
+/// time, so the file is byte-identical on any machine — it is committed
+/// at the repo root next to the BENCH files and checked by `--validate`.
+fn emit_obs_snapshot(path: &str) {
+    let trace = PaperTrace::Fin1.generate_scaled(800, 42);
+    let (mut engine, capacity) = build_engine();
+    engine.attach_recorder(Recorder::new(RecorderConfig {
+        sample_interval: SimTime::from_secs(1),
+        ring_capacity: 256,
+    }));
+    let ops = drive_engine(&mut engine, capacity, &trace, 42);
+    let mut t = SimTime::ZERO;
+    if engine.clean(&mut t).is_err() || engine.flush().is_err() {
+        eprintln!("obs snapshot cleanup error");
+        std::process::exit(1);
+    }
+    let Some(doc) = engine.obs_snapshot() else {
+        eprintln!("obs snapshot: recorder unexpectedly disabled");
+        std::process::exit(1);
+    };
+    let problems = kdd_obs::validate_snapshot(&doc);
+    if !problems.is_empty() {
+        eprintln!("refusing to write invalid {path}:");
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(path, doc.render()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path} ({ops} ops captured)");
 }
 
 fn bench_engine(smoke: bool) -> Vec<Json> {
@@ -353,6 +398,25 @@ fn validate_files(out_dir: &str) -> ! {
             }
         }
     }
+    let opath = format!("{out_dir}/{OBS_FILE}");
+    match load_doc(&opath) {
+        None => {
+            eprintln!("{opath}: missing or unparseable");
+            failed = true;
+        }
+        Some(doc) => {
+            let problems = kdd_obs::validate_snapshot(&doc);
+            if problems.is_empty() {
+                let samples = doc.get("timeseries").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+                eprintln!("{opath}: ok ({samples} samples)");
+            } else {
+                failed = true;
+                for p in &problems {
+                    eprintln!("{opath}: {p}");
+                }
+            }
+        }
+    }
     std::process::exit(i32::from(failed));
 }
 
@@ -375,4 +439,6 @@ fn main() {
     let epath = format!("{}/{ENGINE_FILE}", opts.out_dir);
     write_doc(&kpath, "kernels", &opts.label, mode, kernel_entries);
     write_doc(&epath, "engine", &opts.label, mode, engine_entries);
+    eprintln!("perfbench: obs snapshot ...");
+    emit_obs_snapshot(&format!("{}/{OBS_FILE}", opts.out_dir));
 }

@@ -400,6 +400,12 @@ impl Ftl {
         }
     }
 
+    /// Per-block erase counts, in physical block order (feeds the
+    /// observability wear histogram without exposing `Block`).
+    pub fn erase_counts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().map(|b| b.erase_count)
+    }
+
     /// Endurance snapshot.
     pub fn endurance(&self) -> EnduranceReport {
         let page_bytes = self.geometry.page_size as u64;

@@ -177,6 +177,11 @@ impl SsdDevice {
         self.ftl.endurance()
     }
 
+    /// Per-block erase counts (observability wear histogram).
+    pub fn erase_counts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ftl.erase_counts()
+    }
+
     /// Projected total host bytes writable before wear-out at current WAF.
     pub fn projected_lifetime_bytes(&self) -> f64 {
         self.ftl.endurance().projected_lifetime_bytes(self.ftl.geometry())

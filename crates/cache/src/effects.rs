@@ -96,6 +96,33 @@ impl AccessOutcome {
         t += self.background;
         t
     }
+
+    /// Convert this outcome into an observability completion record so
+    /// every policy (via the sim drivers) feeds the same span stream the
+    /// engine does. The hit class here is the coarse four-way split;
+    /// KDD's engine refines write hits into delta/through itself.
+    pub fn to_obs(
+        &self,
+        is_read: bool,
+        lba: u64,
+        service: kdd_util::SimTime,
+    ) -> kdd_obs::Completion {
+        use kdd_obs::{HitClass, ReqKind};
+        let kind = if is_read { ReqKind::Read } else { ReqKind::Write };
+        let class = match (is_read, self.hit) {
+            (true, true) => HitClass::ReadHit,
+            (true, false) => HitClass::ReadMiss,
+            (false, true) => HitClass::WriteHit,
+            (false, false) => HitClass::WriteMiss,
+        };
+        let t = self.total();
+        let mut c = kdd_obs::Completion::new(kind, lba, class, service);
+        c.ssd_reads = t.ssd_reads;
+        c.ssd_writes = t.ssd_writes();
+        c.raid_reads = t.raid_reads;
+        c.raid_writes = t.raid_writes;
+        c
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! [`AccessOutcome`](crate::effects::AccessOutcome).
 
 use crate::effects::AccessOutcome;
+use kdd_obs::frac;
 use kdd_util::units::ByteSize;
 use serde::{Deserialize, Serialize};
 
@@ -75,24 +76,14 @@ impl CacheStats {
     }
 
     /// Overall cache hit ratio (reads + writes), as Figures 5/7 plot.
+    /// Routed through [`kdd_obs::frac`] so the empty case is 0.0 uniformly.
     pub fn hit_ratio(&self) -> f64 {
-        let hits = self.read_hits + self.write_hits;
-        let total = self.requests();
-        if total == 0 {
-            0.0
-        } else {
-            hits as f64 / total as f64
-        }
+        frac(self.read_hits + self.write_hits, self.requests())
     }
 
     /// Read-only hit ratio.
     pub fn read_hit_ratio(&self) -> f64 {
-        let total = self.read_hits + self.read_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.read_hits as f64 / total as f64
-        }
+        frac(self.read_hits, self.read_hits + self.read_misses)
     }
 
     /// Total SSD pages written.
@@ -107,11 +98,32 @@ impl CacheStats {
 
     /// Metadata share of SSD write traffic — the Figure 4 metric.
     pub fn metadata_fraction(&self) -> f64 {
-        let total = self.ssd_writes_pages();
-        if total == 0 {
-            0.0
-        } else {
-            self.ssd_meta_writes as f64 / total as f64
+        frac(self.ssd_meta_writes, self.ssd_writes_pages())
+    }
+
+    /// Export the counters for the observability registry. `kdd-obs`
+    /// sits below this crate in the dependency graph, so the totals cross
+    /// over through its mirror struct; the accessors above stay the thin
+    /// views experiments already use.
+    pub fn counters(&self) -> kdd_obs::CacheCounters {
+        kdd_obs::CacheCounters {
+            read_hits: self.read_hits,
+            read_misses: self.read_misses,
+            write_hits: self.write_hits,
+            write_misses: self.write_misses,
+            ssd_data_writes: self.ssd_data_writes,
+            ssd_delta_writes: self.ssd_delta_writes,
+            ssd_meta_writes: self.ssd_meta_writes,
+            ssd_reads: self.ssd_reads,
+            raid_reads: self.raid_reads,
+            raid_writes: self.raid_writes,
+            evictions: self.evictions,
+            parity_updates: self.parity_updates,
+            cleanings: self.cleanings,
+            faults_observed: self.faults_observed,
+            fault_retries: self.fault_retries,
+            fault_fallbacks: self.fault_fallbacks,
+            torn_pages_detected: self.torn_pages_detected,
         }
     }
 }
@@ -152,7 +164,37 @@ mod tests {
     fn empty_stats_are_zero() {
         let s = CacheStats::default();
         assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.read_hit_ratio(), 0.0);
         assert_eq!(s.metadata_fraction(), 0.0);
         assert_eq!(s.ssd_writes_pages(), 0);
+    }
+
+    #[test]
+    fn counters_mirror_every_field() {
+        let s = CacheStats {
+            read_hits: 1,
+            read_misses: 2,
+            write_hits: 3,
+            write_misses: 4,
+            ssd_data_writes: 5,
+            ssd_delta_writes: 6,
+            ssd_meta_writes: 7,
+            ssd_reads: 8,
+            raid_reads: 9,
+            raid_writes: 10,
+            evictions: 11,
+            parity_updates: 12,
+            cleanings: 13,
+            faults_observed: 14,
+            fault_retries: 15,
+            fault_fallbacks: 16,
+            torn_pages_detected: 17,
+        };
+        let c = s.counters();
+        assert_eq!(c.requests(), s.requests());
+        assert_eq!(c.hits(), s.read_hits + s.write_hits);
+        assert_eq!(c.ssd_writes_pages(), s.ssd_writes_pages());
+        assert_eq!(c.torn_pages_detected, 17);
+        assert_eq!(c.fault_fallbacks, 16);
     }
 }

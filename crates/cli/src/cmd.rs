@@ -35,6 +35,7 @@ pub struct Opts {
     pub plan: Option<String>,
     pub ops: u64,
     pub n_faults: usize,
+    pub json: bool,
     pub positional: Vec<String>,
 }
 
@@ -75,6 +76,7 @@ impl Opts {
                     o.read_rate =
                         take("read-rate")?.parse().map_err(|e| format!("bad --read-rate: {e}"))?
                 }
+                "--json" => o.json = true,
                 "--plan" => o.plan = Some(take("plan")?),
                 "--ops" => o.ops = take("ops")?.parse().map_err(|e| format!("bad --ops: {e}"))?,
                 "--faults" => {
@@ -183,6 +185,10 @@ pub fn stats(o: &Opts) -> Result<(), String> {
     let label = o2.input.clone().or(o.workload.clone()).unwrap_or_else(|| "trace".into());
     let o_load = Opts { scale: o.scale, seed: o.seed, ..o2 };
     let trace = o_load.load_trace()?;
+    if o.json {
+        print!("{}", TraceStats::compute(&trace).export(&label).render());
+        return Ok(());
+    }
     println!("{}", TraceStats::table_header());
     println!("{}", TraceStats::compute(&trace).table_row(&label));
     println!(
@@ -391,6 +397,183 @@ pub fn faults(o: &Opts) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{lost} acknowledged writes lost"))
+    }
+}
+
+/// Drive the full engine over a seeded paper workload with an enabled
+/// observability recorder, returning the exported `kdd-obs/v1` snapshot.
+fn run_observed_engine(o: &Opts) -> Result<kdd_obs::Json, String> {
+    use kdd_blockdev::SsdDevice;
+    use kdd_core::{KddConfig, KddEngine};
+    use kdd_delta::content::PageMutator;
+    use kdd_obs::{Recorder, RecorderConfig};
+    use kdd_raid::{Layout, RaidArray, RaidLevel};
+    use kdd_trace::record::Op;
+    use kdd_util::units::SimTime;
+    use std::collections::BTreeMap;
+
+    const PAGE: u32 = 4096;
+    let pt = if o.workload.is_some() { o.paper_trace()? } else { PaperTrace::Fin1 };
+    let trace = pt.generate_scaled(o.scale.max(50), o.seed);
+
+    let cache_pages = 256u64;
+    let layout = Layout::new(RaidLevel::Raid5, 5, 16, 16 * 64);
+    let capacity = layout.capacity_pages();
+    let raid = RaidArray::new(layout, PAGE);
+    let ssd = SsdDevice::with_logical_capacity((cache_pages + 64) * PAGE as u64, PAGE, 0.07);
+    let g = CacheGeometry { total_pages: cache_pages, ways: 16, page_size: PAGE };
+    let mut engine = KddEngine::new(KddConfig::new(g), ssd, raid).map_err(|e| e.to_string())?;
+    engine.attach_recorder(Recorder::new(RecorderConfig {
+        sample_interval: SimTime::from_secs(1),
+        ring_capacity: 128,
+    }));
+
+    let mut mutator = PageMutator::new(PAGE as usize, 0.15, 64, o.seed);
+    let mut versions: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for rec in &trace.records {
+        for page in rec.pages() {
+            let lba = page % capacity;
+            match rec.op {
+                Op::Read => {
+                    engine.read(lba).map_err(|e| format!("read lba {lba}: {e}"))?;
+                }
+                Op::Write => {
+                    let next = match versions.get(&lba) {
+                        Some(prev) => mutator.mutate(prev),
+                        None => mutator.initial_page(),
+                    };
+                    engine.write(lba, &next).map_err(|e| format!("write lba {lba}: {e}"))?;
+                    versions.insert(lba, next);
+                }
+            }
+        }
+    }
+    engine.flush().map_err(|e| format!("flush: {e}"))?;
+    engine.obs_snapshot().ok_or_else(|| "recorder unexpectedly disabled".to_string())
+}
+
+/// `report`: render a `kdd-obs/v1` observability snapshot — either from
+/// a saved JSON file, or by driving a fresh observed engine run.
+pub fn report(o: &Opts) -> Result<(), String> {
+    use kdd_obs::{json, validate_snapshot};
+    let doc = match o.input.clone().or_else(|| o.positional.first().cloned()) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            json::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => run_observed_engine(o)?,
+    };
+    let problems = validate_snapshot(&doc);
+    if !problems.is_empty() {
+        return Err(format!("invalid kdd-obs snapshot: {}", problems.join("; ")));
+    }
+    if o.json {
+        print!("{}", doc.render());
+        return Ok(());
+    }
+    render_report(&doc);
+    Ok(())
+}
+
+/// Human-readable view of a validated snapshot document.
+fn render_report(doc: &kdd_obs::Json) {
+    use kdd_obs::Json;
+    let num = |v: Option<&Json>| v.and_then(Json::as_f64).unwrap_or(0.0);
+    let totals = doc.get("totals");
+    let table = |name: &str| totals.and_then(|t| t.get(name));
+    let counter = |key: &str| num(table("counters").and_then(|c| c.get(key)));
+    let derived = |key: &str| num(table("derived").and_then(|d| d.get(key)));
+
+    println!("kdd-obs/v1 snapshot");
+    println!(
+        "requests: {:.0}  hit ratio {:.1}%  (read hit {:.1}%)",
+        counter("obs.requests"),
+        derived("cache.hit_ratio") * 100.0,
+        derived("cache.read_hit_ratio") * 100.0
+    );
+    println!(
+        "ssd writes: {:.0} data + {:.0} delta + {:.0} meta pages  (meta {:.1}%, WAF {:.2})",
+        counter("ssd.data_writes"),
+        counter("ssd.delta_writes"),
+        counter("ssd.meta_writes"),
+        derived("cache.metadata_fraction") * 100.0,
+        derived("ssd.waf")
+    );
+    println!(
+        "raid: {:.0} member reads, {:.0} member writes; cleaner: {:.0} cleanings, {:.0} parity updates",
+        counter("raid.reads"),
+        counter("raid.writes"),
+        counter("cleaner.cleanings"),
+        counter("cleaner.parity_updates")
+    );
+    if let Some(Json::Obj(gauges)) = table("gauges") {
+        let g = |k: &str| gauges.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "now: backlog {:.0} rows, stale {:.0} rows, staged {:.0} deltas, metalog {:.0}/{:.0} pages ({:.1}%)",
+            g("cleaner.backlog_rows"),
+            g("raid.stale_rows"),
+            g("nvram.staged_deltas"),
+            g("metalog.pages_used"),
+            g("metalog.pages_total"),
+            derived("metalog.occupancy") * 100.0
+        );
+    }
+
+    if let Some(ts) = doc.get("timeseries").and_then(Json::as_arr) {
+        println!("\ntimeseries ({} samples):", ts.len());
+        println!(
+            "{:>8} {:>9} {:>10} {:>8} {:>7} {:>7} {:>9}",
+            "t(s)", "requests", "ssd_wr", "backlog", "stale", "staged", "metalog%"
+        );
+        // Show at most 12 rows: the head and the tail of the series.
+        let n = ts.len();
+        let shown: Vec<usize> =
+            if n <= 12 { (0..n).collect() } else { (0..6).chain(n - 6..n).collect() };
+        let mut last = None;
+        for &i in &shown {
+            if let Some(prev) = last {
+                if i > prev + 1 {
+                    println!("{:>8}", "...");
+                }
+            }
+            last = Some(i);
+            let Some(s) = ts.get(i) else { continue };
+            let f = |k: &str| num(s.get(k));
+            let ssd_wr = f("ssd_data_writes") + f("ssd_delta_writes") + f("ssd_meta_writes");
+            println!(
+                "{:>8.1} {:>9.0} {:>10.0} {:>8.0} {:>7.0} {:>7.0} {:>8.1}%",
+                f("at_ns") / 1e9,
+                f("requests"),
+                ssd_wr,
+                f("backlog_rows"),
+                f("stale_rows"),
+                f("staged_deltas"),
+                f("metalog_occupancy") * 100.0
+            );
+        }
+    }
+
+    if let Some(wear) = doc.get("wear") {
+        println!(
+            "\nwear: {:.0} blocks, max erase {:.0}",
+            num(wear.get("count")),
+            num(wear.get("max"))
+        );
+        if let Some(buckets) = wear.get("buckets").and_then(Json::as_arr) {
+            for b in buckets {
+                if let Some([lo, n]) = b.as_arr().map(|a| [num(a.first()), num(a.get(1))]) {
+                    println!("  >= {lo:>6.0} erases: {n:.0} blocks");
+                }
+            }
+        }
+    }
+
+    if let Some(spans) = doc.get("spans") {
+        println!(
+            "\nspans: {:.0} recorded, {:.0} dropped by the ring",
+            num(spans.get("pushed")),
+            num(spans.get("dropped"))
+        );
     }
 }
 

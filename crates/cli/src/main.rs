@@ -31,6 +31,7 @@ fn main() {
         "replay" => cmd::replay(&opts),
         "fio" => cmd::fio(&opts),
         "faults" => cmd::faults(&opts),
+        "report" => cmd::report(&opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -56,7 +57,7 @@ commands:
               --workload fin1|fin2|hm0|web0  --scale N
               --format spc|msr  --out FILE
   stats       Table-I statistics of a trace file
-              --format spc|msr  <FILE>
+              --format spc|msr  <FILE>  [--json]
   sim         trace-driven cache simulation (hit ratio, SSD traffic)
               --workload ...|--in FILE --format ...  --scale N
               --policy nossd|wt|wa|wb|leavo|kdd-50|kdd-25|kdd-12|all
@@ -68,6 +69,10 @@ commands:
   faults      fault-injection drill on the full engine (RPO-0 check)
               --plan \"ssd@120:transient,disk1@50:drop,any@900:power\"
               or --ops N --faults K for a seeded random plan
+  report      render a kdd-obs/v1 observability snapshot
+              <FILE.json> to read a saved snapshot, or
+              --workload ... --scale N to drive a fresh observed run
+              [--json] for the raw document
 
 common:       --seed N (default 42)"
     );

@@ -40,7 +40,8 @@ use kdd_cache::setassoc::{InsertOutcome, PageState, SetAssocCache};
 use kdd_cache::stats::CacheStats;
 use kdd_delta::codec;
 use kdd_delta::xor::xor_into;
-use kdd_raid::array::{RaidArray, RaidError};
+use kdd_obs::{Completion, HitClass, Recorder, ReqKind, Sample};
+use kdd_raid::array::{RaidArray, RaidCost, RaidError};
 use kdd_util::hash::{crc32_update, FastMap};
 use kdd_util::units::SimTime;
 use kdd_util::PagePool;
@@ -256,6 +257,9 @@ pub struct KddEngine {
     injector: Option<FaultInjector>,
     mode: EngineMode,
     pool: PagePool,
+    recorder: Recorder,
+    last_class: HitClass,
+    last_comp_milli: u32,
 }
 
 impl KddEngine {
@@ -300,6 +304,9 @@ impl KddEngine {
             injector: None,
             mode: EngineMode::Normal,
             pool: PagePool::new(config.geometry.page_size as usize),
+            recorder: Recorder::disabled(),
+            last_class: HitClass::ReadMiss,
+            last_comp_milli: 0,
             config,
             ssd,
             raid,
@@ -314,6 +321,76 @@ impl KddEngine {
         // kdd-waiver(KDD006): one-time attach; FaultInjector is an Arc handle, clone is a refcount bump.
         self.raid.attach_injector(injector.clone());
         self.injector = Some(injector);
+    }
+
+    /// Attach an observability recorder. Every acknowledged request is
+    /// recorded as a lifecycle span; periodic samples are drawn on the
+    /// recorder's simulated-time clock. The default recorder is the
+    /// disabled no-op, which the request path skips with one branch.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder handle (disabled unless
+    /// [`KddEngine::attach_recorder`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Export the full `kdd-obs/v1` snapshot: totals, timeseries, wear
+    /// histogram and the span ring. `None` when no recorder is attached.
+    pub fn obs_snapshot(&self) -> Option<kdd_obs::Json> {
+        let mut wear = kdd_obs::Log2Hist::new();
+        for e in self.ssd.erase_counts() {
+            wear.observe(u64::from(e));
+        }
+        let fin = self.sample_now();
+        self.recorder.export(&fin, &wear)
+    }
+
+    /// Draw one gauge sample from current engine state at the recorder's
+    /// simulated clock.
+    fn sample_now(&self) -> Sample {
+        let end = self.ssd.endurance();
+        let (head, tail) = self.metalog.counters();
+        Sample {
+            at: self.recorder.now(),
+            cache: self.stats.counters(),
+            host_written_bytes: end.host_written_bytes,
+            nand_written_bytes: end.nand_written_bytes,
+            erases: end.erases,
+            max_erase: u64::from(end.max_erase_count),
+            stale_rows: self.raid.stale_row_count() as u64,
+            backlog_rows: self.pending_rows.pending_rows() as u64,
+            staged_deltas: self.nv.get().staging.len() as u64,
+            metalog_pages_used: tail.saturating_sub(head),
+            metalog_pages_total: self.meta_pages,
+        }
+    }
+
+    /// Finish one acknowledged request: build the completion from the
+    /// stats delta, feed the span ring, and draw a sample if one is due.
+    fn observe(&mut self, kind: ReqKind, lba: u64, before: &CacheStats, service: SimTime) {
+        let class = if self.mode == EngineMode::PassThrough {
+            HitClass::PassThrough
+        } else {
+            self.last_class
+        };
+        let d32 = |now: u64, was: u64| u32::try_from(now.saturating_sub(was)).unwrap_or(u32::MAX);
+        let mut c = Completion::new(kind, lba, class, service);
+        c.ssd_reads = d32(self.stats.ssd_reads, before.ssd_reads);
+        c.ssd_writes = d32(self.stats.ssd_writes_pages(), before.ssd_writes_pages());
+        c.raid_reads = d32(self.stats.raid_reads, before.raid_reads);
+        c.raid_writes = d32(self.stats.raid_writes, before.raid_writes);
+        c.faults = d32(self.stats.faults_observed, before.faults_observed);
+        c.retries = d32(self.stats.fault_retries, before.fault_retries);
+        if kind == ReqKind::Write {
+            c.comp_milli = self.last_comp_milli;
+        }
+        if self.recorder.record(c) {
+            let s = self.sample_now();
+            self.recorder.push_sample(s);
+        }
     }
 
     /// Current serving mode (normal caching vs. pass-through after a
@@ -626,6 +703,15 @@ impl KddEngine {
     /// and, when no working spare exists, pass-through mode. Power loss is
     /// surfaced unchanged — only [`KddEngine::power_cycle`] recovers it.
     pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
+        let before = self.recorder.is_enabled().then_some(self.stats);
+        let result = self.read_dispatch(lba);
+        if let (Some(before), Ok((_, t))) = (before, &result) {
+            self.observe(ReqKind::Read, lba, &before, *t);
+        }
+        result
+    }
+
+    fn read_dispatch(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
         if self.mode == EngineMode::PassThrough {
             return self.raid_read(lba);
         }
@@ -653,6 +739,15 @@ impl KddEngine {
     /// Write one page; returns the simulated service time. Same fault
     /// policy as [`KddEngine::read`].
     pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
+        let before = self.recorder.is_enabled().then_some(self.stats);
+        let result = self.write_dispatch(lba, data);
+        if let (Some(before), Ok(t)) = (before, &result) {
+            self.observe(ReqKind::Write, lba, &before, *t);
+        }
+        result
+    }
+
+    fn write_dispatch(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
         if self.mode == EngineMode::PassThrough {
             return self.raid_write(lba, data);
         }
@@ -682,6 +777,7 @@ impl KddEngine {
         // kdd-waiver(KDD006): the page is returned to the caller by value.
         let mut buf = vec![0u8; self.page_size()];
         let cost = self.raid.read_page(lba, &mut buf)?;
+        self.charge_raid(&cost);
         self.bump(true, false);
         Ok((buf, DISK_OP * cost.reads().max(1) as u64))
     }
@@ -689,6 +785,7 @@ impl KddEngine {
     /// Pass-through write straight to the RAID array (full parity update).
     fn raid_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
         let cost = self.raid.write_page(lba, data)?;
+        self.charge_raid(&cost);
         self.bump(false, false);
         Ok(DISK_OP * 2 * cost.writes().max(1) as u64)
     }
@@ -705,6 +802,7 @@ impl KddEngine {
                 // kdd-waiver(KDD006): the page is the read's return value.
                 let mut buf = vec![0u8; self.page_size()];
                 let cost = self.raid.read_page(lba, &mut buf)?;
+                self.charge_raid(&cost);
                 t += DISK_OP * cost.reads().max(1) as u64;
                 self.fill_clean(lba, &buf, &mut t)?;
                 (false, buf)
@@ -717,15 +815,18 @@ impl KddEngine {
     fn write_inner(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
         assert_eq!(data.len(), self.page_size(), "writes are page-granular");
         let mut t = SimTime::ZERO;
+        self.last_comp_milli = 0;
         let hit = match self.cache.lookup(lba) {
             Some(slot) => {
                 // THE KDD WRITE HIT: delta to NVRAM, data to RAID without
                 // a parity update.
+                self.last_class = HitClass::WriteHit;
                 self.cache.touch(slot);
                 let mut delta = self.pool.acquire();
                 t += self.ssd.read_page(self.slot_lpn(slot), &mut delta)?;
                 xor_into(&mut delta, data); // base ⊕ new
                 let comp = codec::compress(&delta);
+                self.last_comp_milli = ((comp.len() * 1000) / self.page_size()) as u32;
                 self.pool.release(delta);
                 t += SimTime::from_micros(30); // compression CPU cost
                                                // A delta must fit a DEZ page alongside its directory
@@ -760,6 +861,8 @@ impl KddEngine {
                     // consistent.
                     match self.raid.write_no_parity_update(lba, data) {
                         Ok(cost) => {
+                            self.charge_raid(&cost);
+                            self.last_class = HitClass::WriteHitDelta;
                             t += DISK_OP * cost.writes() as u64;
                             if self.cache.state(slot) == PageState::Clean {
                                 self.cache.set_state(slot, PageState::Old);
@@ -801,6 +904,8 @@ impl KddEngine {
                     // of the row — clean_row afterwards only reclaims
                     // (its parity step is skipped once staleness cleared).
                     let cost = self.raid.write_page(lba, data)?;
+                    self.charge_raid(&cost);
+                    self.last_class = HitClass::WriteHitThrough;
                     t += DISK_OP * 2 * cost.writes().max(1) as u64;
                     // Tombstone the old mapping before reclaiming its
                     // flash copies, then re-insert the new version clean.
@@ -841,7 +946,8 @@ impl KddEngine {
     ) -> Result<(), EngineError> {
         let row = self.raid.layout().row_of(lba);
         self.clean_row(row, t)?;
-        self.raid.write_page(lba, data)?;
+        let cost = self.raid.write_page(lba, data)?;
+        self.charge_raid(&cost);
         *t += DISK_OP * 2; // read round + write round
         self.fill_clean(lba, data, t)
     }
@@ -905,11 +1011,28 @@ impl KddEngine {
 
     fn bump(&mut self, is_read: bool, hit: bool) {
         match (is_read, hit) {
-            (true, true) => self.stats.read_hits += 1,
-            (true, false) => self.stats.read_misses += 1,
+            (true, true) => {
+                self.stats.read_hits += 1;
+                self.last_class = HitClass::ReadHit;
+            }
+            (true, false) => {
+                self.stats.read_misses += 1;
+                self.last_class = HitClass::ReadMiss;
+            }
+            // Write hits refine themselves into delta/through inside
+            // `write_inner`; don't clobber that here.
             (false, true) => self.stats.write_hits += 1,
-            (false, false) => self.stats.write_misses += 1,
+            (false, false) => {
+                self.stats.write_misses += 1;
+                self.last_class = HitClass::WriteMiss;
+            }
         }
+    }
+
+    /// Fold one RAID operation's member-disk cost into the counters.
+    fn charge_raid(&mut self, cost: &RaidCost) {
+        self.stats.raid_reads += cost.reads() as u64;
+        self.stats.raid_writes += cost.writes() as u64;
     }
 
     fn maybe_clean(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
@@ -1075,6 +1198,7 @@ impl KddEngine {
                 }
                 let refs: Vec<&[u8]> = datas.iter().map(|d| d.as_slice()).collect();
                 let cost = self.raid.parity_update_with_data(row, &refs)?;
+                self.charge_raid(&cost);
                 *t += DISK_OP * cost.writes() as u64;
             } else {
                 // RMW: fold each pending page's decompressed delta.
@@ -1103,6 +1227,7 @@ impl KddEngine {
                     Err(RaidError::DiskFailed { .. }) => self.raid.resync(Some(&[row]))?,
                     Err(e) => return Err(e.into()),
                 };
+                self.charge_raid(&cost);
                 *t += DISK_OP * cost.ops.len() as u64;
             }
             self.stats.parity_updates += 1;
@@ -1362,6 +1487,9 @@ impl KddEngine {
             injector: self.injector,
             mode: self.mode,
             pool: PagePool::new(ps),
+            recorder: self.recorder,
+            last_class: HitClass::ReadMiss,
+            last_comp_milli: 0,
         })
     }
 
@@ -1373,6 +1501,7 @@ impl KddEngine {
         let mut t = SimTime::ZERO;
         self.ssd.fail();
         let cost = self.raid.resync(None)?;
+        self.charge_raid(&cost);
         t += DISK_OP * cost.ops.len() as u64;
         self.ssd.replace();
         let grouping = kdd_cache::setassoc::SetGrouping::ParityRow {
@@ -1397,6 +1526,7 @@ impl KddEngine {
         self.raid.fail_disk(disk);
         self.clean(&mut t)?;
         let cost = self.raid.rebuild()?;
+        self.charge_raid(&cost);
         t += DISK_OP * (cost.ops.len() as u64 / self.raid.layout().disks as u64).max(1);
         Ok(t)
     }

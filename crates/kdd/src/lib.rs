@@ -27,6 +27,7 @@
 //! | [`delta`] | `kdd-delta` | XOR deltas, the compressor, content generators |
 //! | [`trace`] | `kdd-trace` | trace parsers + the paper's workloads |
 //! | [`sim`] | `kdd-sim` | open/closed-loop timing simulation |
+//! | [`obs`] | `kdd-obs` | deterministic metrics, spans, snapshots |
 //! | [`util`] | `kdd-util` | stats, samplers, LRU, hashing |
 //!
 //! ## Quickstart
@@ -60,6 +61,7 @@ pub use kdd_blockdev as blockdev;
 pub use kdd_cache as cache;
 pub use kdd_core as core;
 pub use kdd_delta as delta;
+pub use kdd_obs as obs;
 pub use kdd_raid as raid;
 pub use kdd_sim as sim;
 pub use kdd_trace as trace;
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use kdd_core::engine::{EngineMode, KddEngine};
     pub use kdd_core::{KddConfig, KddPolicy};
     pub use kdd_delta::model::{DeltaSizeModel, FixedDeltaModel, GaussianDeltaModel};
+    pub use kdd_obs::{Recorder, RecorderConfig};
     pub use kdd_raid::{Layout, RaidArray, RaidLevel};
     pub use kdd_sim::{build_policy, replay_open_loop, run_closed_loop, PolicyKind, ServiceModel};
     pub use kdd_trace::fio::{FioConfig, FioWorkload};

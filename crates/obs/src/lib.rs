@@ -1,0 +1,64 @@
+//! `kdd-obs` — deterministic observability for the KDD reproduction.
+//!
+//! The paper's claims are quantitative (SSD write traffic saved, erase
+//! cycles avoided, stale-parity cleaning kept off the critical path), so
+//! the stack needs a single place where those numbers are collected and
+//! exported. This crate provides three pieces:
+//!
+//! * [`registry`] — typed counters/gauges/[`Log2Hist`] histograms keyed
+//!   by `&'static str` (no `String` allocation on hot paths), exported in
+//!   `BTreeMap` order for byte-stable output;
+//! * [`ring`] — structured I/O lifecycle spans ([`Completion`] →
+//!   [`SpanEvent`]) captured into a bounded [`SpanRing`];
+//! * [`snapshot`] — periodic [`Sample`]s keyed on *simulated* time and
+//!   the versioned `kdd-obs/v1` snapshot document, validated by
+//!   [`validate_snapshot`].
+//!
+//! Everything funnels through a cloneable [`Recorder`] handle that
+//! defaults to a no-op sink: when disabled, each call is one branch on an
+//! `Option`, so instrumented hot paths keep their perf trajectory.
+//!
+//! Determinism rules (KDD003/KDD007): the recorder never reads a wall
+//! clock — all timestamps are simulated time supplied by the caller —
+//! and all accumulation is integer-only, with floats derived once at
+//! export via [`frac`]. Two seeded replays therefore produce
+//! byte-identical snapshots.
+
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod ring;
+pub mod snapshot;
+
+pub use json::Json;
+pub use recorder::{Recorder, RecorderConfig};
+pub use registry::{CounterId, GaugeId, HistId, Log2Hist, Registry};
+pub use ring::{Completion, HitClass, ReqKind, SpanEvent, SpanRing};
+pub use snapshot::{validate_snapshot, CacheCounters, Sample};
+
+/// Schema identifier stamped into every snapshot document.
+pub const SCHEMA: &str = "kdd-obs/v1";
+
+/// The one place ratio math lives: `num / den`, returning 0.0 uniformly
+/// when the denominator is zero. `CacheStats::hit_ratio`,
+/// `metadata_fraction`, WAF and occupancy all route through here.
+pub fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_returns_zero_on_empty_denominator() {
+        assert_eq!(frac(0, 0), 0.0);
+        assert_eq!(frac(5, 0), 0.0);
+        assert_eq!(frac(1, 2), 0.5);
+        assert_eq!(frac(3, 3), 1.0);
+    }
+}

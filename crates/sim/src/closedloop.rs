@@ -11,11 +11,14 @@
 // counts). See DESIGN.md "Static analysis & invariants".
 #![allow(clippy::cast_possible_truncation)]
 
+use crate::openloop::policy_sample;
 use crate::queue::MultiServer;
 use crate::service::ServiceModel;
 use kdd_cache::policies::CachePolicy;
 use kdd_cache::stats::CacheStats;
+use kdd_obs::Recorder;
 use kdd_trace::fio::FioWorkload;
+use kdd_trace::record::Op;
 use kdd_util::stats::{Histogram, StreamingStats};
 use kdd_util::units::{ByteSize, SimTime};
 use serde::{Deserialize, Serialize};
@@ -51,6 +54,19 @@ pub fn run_closed_loop(
     model: &ServiceModel,
     disks: usize,
 ) -> ClosedLoopReport {
+    run_closed_loop_observed(policy, workload, model, disks, &Recorder::disabled())
+}
+
+/// [`run_closed_loop`] with an observability recorder: spans stamped
+/// with issue/completion virtual times, periodic samples on the
+/// simulated clock. A disabled recorder reduces this to the plain run.
+pub fn run_closed_loop_observed(
+    policy: &mut dyn CachePolicy,
+    workload: &mut FioWorkload,
+    model: &ServiceModel,
+    disks: usize,
+    recorder: &Recorder,
+) -> ClosedLoopReport {
     let threads = workload.config().threads.max(1);
     let page_size = 4096u32;
     let mut raid = MultiServer::new(disks);
@@ -81,10 +97,17 @@ pub fn run_closed_loop(
         let resp = done - now;
         stats.record(resp.as_nanos() as f64);
         hist.record(resp.as_nanos());
+        if recorder.is_enabled() {
+            let c = outcome.to_obs(op == Op::Read, lba, resp);
+            if recorder.record_at(c, now, done) {
+                recorder.push_sample(policy_sample(policy, recorder.now()));
+            }
+        }
         makespan = makespan.max(done);
         ready.push(Reverse(done));
     }
     policy.flush();
+    recorder.sync_cache(&policy.stats().counters());
     ClosedLoopReport {
         policy: policy.name(),
         requests: stats.count(),

@@ -27,9 +27,9 @@ pub mod prototype;
 pub mod queue;
 pub mod service;
 
-pub use closedloop::{run_closed_loop, ClosedLoopReport};
+pub use closedloop::{run_closed_loop, run_closed_loop_observed, ClosedLoopReport};
 pub use des::{replay_des, DesReport};
 pub use factory::{build_policy, PolicyKind};
-pub use openloop::{replay_open_loop, OpenLoopReport};
+pub use openloop::{replay_open_loop, replay_open_loop_observed, OpenLoopReport};
 pub use queue::MultiServer;
 pub use service::ServiceModel;

@@ -13,10 +13,18 @@
 use crate::queue::MultiServer;
 use crate::service::ServiceModel;
 use kdd_cache::policies::CachePolicy;
-use kdd_trace::record::Trace;
+use kdd_obs::{Recorder, Sample};
+use kdd_trace::record::{Op, Trace};
 use kdd_util::stats::{Histogram, StreamingStats};
 use kdd_util::units::SimTime;
 use serde::{Deserialize, Serialize};
+
+/// One timeseries sample drawn from a policy's cumulative counters. The
+/// trace drivers have no device gauges (those belong to the engine), so
+/// only the cache-counter half of the sample is populated.
+pub(crate) fn policy_sample(policy: &dyn CachePolicy, at: SimTime) -> Sample {
+    Sample { at, cache: policy.stats().counters(), ..Sample::default() }
+}
 
 /// Latency results of one replay.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +54,21 @@ pub fn replay_open_loop(
     model: &ServiceModel,
     disks: usize,
     speedup: u64,
+) -> OpenLoopReport {
+    replay_open_loop_observed(policy, trace, model, disks, speedup, &Recorder::disabled())
+}
+
+/// [`replay_open_loop`] with an observability recorder: every request
+/// becomes a lifecycle span stamped with its arrival/completion times,
+/// and periodic samples are drawn on the simulated clock. A disabled
+/// recorder reduces this to the plain replay.
+pub fn replay_open_loop_observed(
+    policy: &mut dyn CachePolicy,
+    trace: &Trace,
+    model: &ServiceModel,
+    disks: usize,
+    speedup: u64,
+    recorder: &Recorder,
 ) -> OpenLoopReport {
     let mut raid = MultiServer::new(disks);
     let mut stats = StreamingStats::new();
@@ -84,10 +107,17 @@ pub fn replay_open_loop(
             let resp = done - arrival;
             stats.record(resp.as_nanos() as f64);
             hist.record(resp.as_nanos());
+            if recorder.is_enabled() {
+                let c = outcome.to_obs(r.op == Op::Read, lba, resp);
+                if recorder.record_at(c, arrival, done) {
+                    recorder.push_sample(policy_sample(policy, recorder.now()));
+                }
+            }
         }
     }
     let fx = policy.flush();
     let _ = fx; // background work; not part of response time
+    recorder.sync_cache(&policy.stats().counters());
     OpenLoopReport {
         policy: policy.name(),
         requests: stats.count(),

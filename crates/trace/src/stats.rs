@@ -44,14 +44,24 @@ impl TraceStats {
         s
     }
 
-    /// Read fraction of all requests (Table I's "Read Ratio").
+    /// Read fraction of all requests (Table I's "Read Ratio"). Routed
+    /// through [`kdd_obs::frac`] so the empty case is 0.0 uniformly.
     pub fn read_ratio(&self) -> f64 {
-        let total = self.read_requests + self.write_requests;
-        if total == 0 {
-            0.0
-        } else {
-            self.read_requests as f64 / total as f64
-        }
+        kdd_obs::frac(self.read_requests, self.read_requests + self.write_requests)
+    }
+
+    /// Export as a JSON object for `kddtool stats --json`.
+    pub fn export(&self, name: &str) -> kdd_obs::Json {
+        use kdd_obs::Json;
+        kdd_obs::json::obj(vec![
+            ("workload", Json::Str(name.to_string())),
+            ("unique_total", Json::Num(self.unique_total as f64)),
+            ("unique_read", Json::Num(self.unique_read as f64)),
+            ("unique_write", Json::Num(self.unique_write as f64)),
+            ("read_requests", Json::Num(self.read_requests as f64)),
+            ("write_requests", Json::Num(self.write_requests as f64)),
+            ("read_ratio", Json::Num(self.read_ratio())),
+        ])
     }
 
     /// Format as a Table I row (counts in thousands, like the paper).

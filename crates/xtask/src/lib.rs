@@ -18,6 +18,7 @@
 //! | `KDD004` | `stale-parity` | `write_no_parity_update` call sites in modules that never repair or register stale parity |
 //! | `KDD005` | `indexing-slicing` | unchecked slice indexing in the I/O-path crates (pedantic, `--pedantic` only) |
 //! | `KDD006` | `hot-alloc` | per-op allocations (`vec![0u8; …]`, `.to_vec()`, `.clone()`) in the hot-path files — use the `PagePool` |
+//! | `KDD007` | `obs-determinism` | wall-clock time and float accumulation in `crates/obs` or any file that registers metrics — snapshots must be byte-identical across seeded replays |
 //!
 //! ## Waivers
 //!
@@ -51,7 +52,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must never panic (rule `KDD001`, `KDD005`).
-pub const PANIC_FREE_CRATES: &[&str] = &["blockdev", "raid", "core", "cache", "delta"];
+pub const PANIC_FREE_CRATES: &[&str] = &["blockdev", "raid", "core", "cache", "delta", "obs"];
 
 /// Crates that must not issue raw device/array writes (rule `KDD002`).
 pub const LAYERING_RESTRICTED_CRATES: &[&str] = &["sim", "bench", "cli", "trace"];
@@ -95,6 +96,21 @@ pub const HOT_ALLOC_FILES: &[&str] = &[
 /// Allocation tokens rule `KDD006` flags in hot-path files.
 const HOT_ALLOC_TOKENS: &[&str] = &["vec![0u8;", ".to_vec()", ".clone()"];
 
+/// Metric-registration calls: a file containing one of these feeds the
+/// observability registry and falls under rule `KDD007` wherever it lives.
+const OBS_REGISTER_TOKENS: &[&str] = &[".register_counter(", ".register_gauge(", ".register_hist"];
+
+/// Wall-clock tokens rule `KDD007` forbids in observability code. Snapshots
+/// are keyed on `SimTime`; an ambient timestamp would differ across replays.
+const OBS_WALLCLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "std::time::"];
+
+/// Float-accumulation tokens rule `KDD007` flags in observability code:
+/// summation order and rounding drift make accumulated floats unstable
+/// across refactors, so metrics accumulate in integers (`u64` counters,
+/// milli-units) and convert to `f64` only at export.
+const OBS_FLOAT_HAZARD_TOKENS: &[&str] =
+    &[".sum::<f32>()", ".sum::<f64>()", ".fold(0.0", ".fold(0f32", ".fold(0f64"];
+
 /// Tokens that prove a module repairs or registers stale parity (`KDD004`).
 const STALE_REPAIR_TOKENS: &[&str] = &[
     ".parity_update_with_data(",
@@ -122,6 +138,8 @@ pub enum Rule {
     IndexingSlicing,
     /// `KDD006` — per-op allocation on a hot-path file.
     HotAlloc,
+    /// `KDD007` — nondeterministic construct in observability code.
+    ObsDeterminism,
 }
 
 impl Rule {
@@ -135,6 +153,7 @@ impl Rule {
             Rule::StaleParity => "KDD004",
             Rule::IndexingSlicing => "KDD005",
             Rule::HotAlloc => "KDD006",
+            Rule::ObsDeterminism => "KDD007",
         }
     }
 
@@ -148,6 +167,7 @@ impl Rule {
             Rule::StaleParity => "stale-parity",
             Rule::IndexingSlicing => "indexing-slicing",
             Rule::HotAlloc => "hot-alloc",
+            Rule::ObsDeterminism => "obs-determinism",
         }
     }
 
@@ -161,6 +181,7 @@ impl Rule {
             Rule::StaleParity,
             Rule::IndexingSlicing,
             Rule::HotAlloc,
+            Rule::ObsDeterminism,
         ];
         all.into_iter().find(|r| r.name() == s || r.code() == s || r.code().eq_ignore_ascii_case(s))
     }
@@ -634,6 +655,13 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
     let layering_restricted = LAYERING_RESTRICTED_CRATES.contains(&crate_name);
     let determinism_checked = !NONDETERMINISM_ALLOWED_CRATES.contains(&crate_name);
     let hot_alloc_checked = HOT_ALLOC_FILES.iter().any(|f| rel_path.ends_with(f));
+    // KDD007 governs the obs crate itself plus any file that registers
+    // metrics, wherever it lives — even in crates otherwise allowed to
+    // read ambient state (`bench`, `cli`).
+    let obs_checked = rel_path.contains("crates/obs/")
+        || lines
+            .iter()
+            .any(|l| !l.in_test && OBS_REGISTER_TOKENS.iter().any(|t| l.code.contains(t)));
 
     for (i, line) in lines.iter().enumerate() {
         if line.in_test || line.code.trim().is_empty() {
@@ -727,6 +755,37 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
                          `util::hash::FastMap`/`FastSet`"
                     ),
                 );
+            }
+        }
+        if obs_checked {
+            for tok in OBS_WALLCLOCK_TOKENS {
+                if find_ident_token(&line.code, tok).is_some() {
+                    emit(
+                        &mut report,
+                        Rule::ObsDeterminism,
+                        i,
+                        format!(
+                            "`{tok}` in observability code: snapshots are keyed on \
+                             `SimTime` and must be byte-identical across seeded \
+                             replays — never stamp events with wall-clock time"
+                        ),
+                    );
+                    break; // one wall-clock finding per line is enough
+                }
+            }
+            for tok in OBS_FLOAT_HAZARD_TOKENS {
+                if line.code.contains(tok) {
+                    emit(
+                        &mut report,
+                        Rule::ObsDeterminism,
+                        i,
+                        format!(
+                            "`{tok}` accumulates floats in observability code: \
+                             rounding drift makes metrics unstable — accumulate in \
+                             integer units and convert to `f64` only at export"
+                        ),
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,17 @@
+//! BAD: observability code stamping events with wall-clock time and
+//! accumulating floats. Linted as `crates/obs/src/registry.rs`.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    drop(t);
+    0
+}
+
+pub fn mean_latency(samples: &[f64]) -> f64 {
+    let total = samples.iter().sum::<f64>();
+    total / samples.len() as f64
+}
+
+pub fn folded(samples: &[f64]) -> f64 {
+    samples.iter().fold(0.0, |a, b| a + b)
+}

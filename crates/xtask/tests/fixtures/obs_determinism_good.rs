@@ -1,0 +1,14 @@
+//! GOOD: observability code on simulated time with integer accumulation.
+//! Linted as `crates/obs/src/registry.rs`.
+
+pub fn observe(now_ns: u64, total_ns: &mut u64) {
+    *total_ns = total_ns.saturating_add(now_ns);
+}
+
+pub fn mean_latency_ns(total_ns: u64, count: u64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    // Integer accumulation; the single conversion happens at export.
+    total_ns as f64 / count as f64
+}

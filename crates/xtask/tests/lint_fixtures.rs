@@ -209,6 +209,54 @@ fn hot_alloc_good_is_clean_and_honours_shorthand_waiver() {
 }
 
 #[test]
+fn obs_determinism_bad_pins_every_site() {
+    // The obs filter keys on the rel_path, so lint the fixture as if it
+    // lived inside crates/obs/.
+    let src = fixture("obs_determinism_bad.rs");
+    let report = lint_source("obs", "crates/obs/src/registry.rs", &src, Options::default());
+    let mut got: Vec<(Rule, usize)> = report.violations.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_by_key(|(r, l)| (*l, *r));
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Determinism, 5),     // std::time:: (obs is also KDD003-checked)
+            (Rule::ObsDeterminism, 5),  // std::time::Instant::now
+            (Rule::ObsDeterminism, 11), // .sum::<f64>()
+            (Rule::ObsDeterminism, 16), // .fold(0.0
+        ]
+    );
+    let kdd007 = report.violations.iter().find(|v| v.rule == Rule::ObsDeterminism).expect("hit");
+    assert_eq!(kdd007.rule.code(), "KDD007");
+    assert_eq!(kdd007.rule.name(), "obs-determinism");
+}
+
+#[test]
+fn obs_determinism_guards_files_that_register_metrics_anywhere() {
+    // A bench file (KDD003-exempt) still falls under KDD007 the moment it
+    // registers a metric.
+    let src = "pub fn setup(r: &mut Registry) -> CounterId {\n\
+               \x20   let id = r.register_counter(\"x\");\n\
+               \x20   let _t = std::time::Instant::now();\n\
+               \x20   id\n\
+               }\n";
+    let report = lint_source("bench", "crates/bench/src/obs_setup.rs", src, Options::default());
+    let got: Vec<(Rule, usize)> = report.violations.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![(Rule::ObsDeterminism, 3)]);
+
+    // Without the registration call, bench keeps its ambient-state licence.
+    let free = "pub fn setup() {\n    let _t = std::time::Instant::now();\n}\n";
+    let report = lint_source("bench", "crates/bench/src/obs_setup.rs", free, Options::default());
+    assert_eq!(report.violations, vec![], "bench without metrics is exempt");
+}
+
+#[test]
+fn obs_determinism_good_is_clean() {
+    let src = fixture("obs_determinism_good.rs");
+    let report = lint_source("obs", "crates/obs/src/registry.rs", &src, Options::default());
+    assert_eq!(report.violations, vec![], "integer-accumulating fixture must be clean");
+}
+
+#[test]
 fn rule_codes_are_stable() {
     for (rule, code, name) in [
         (Rule::Waiver, "KDD000", "waiver"),
@@ -218,6 +266,7 @@ fn rule_codes_are_stable() {
         (Rule::StaleParity, "KDD004", "stale-parity"),
         (Rule::IndexingSlicing, "KDD005", "indexing-slicing"),
         (Rule::HotAlloc, "KDD006", "hot-alloc"),
+        (Rule::ObsDeterminism, "KDD007", "obs-determinism"),
     ] {
         assert_eq!(rule.code(), code);
         assert_eq!(rule.name(), name);

@@ -311,12 +311,17 @@ fn seeded_fault_plan_replays_identically() {
 
 /// Run the seeded fault workload to completion and fold every observable
 /// piece of engine state into one FNV-1a digest: workload outcome, stats,
-/// staging counters, page contents, and the injected-fault history. All
-/// iteration here is over `BTreeMap`s and `Vec`s, so a digest difference
-/// is a real divergence, not map-order noise.
+/// staging counters, page contents, the injected-fault history, and the
+/// rendered `kdd-obs/v1` snapshot (spans, timeseries, and wear included).
+/// All iteration here is over `BTreeMap`s and `Vec`s, so a digest
+/// difference is a real divergence, not map-order noise.
 fn replay_digest(seed: u64) -> u64 {
     let plan = FaultPlan::randomized(seed, 600, 5, 6);
     let (mut engine, injector) = small_engine_with(plan);
+    engine.attach_recorder(Recorder::new(RecorderConfig {
+        sample_interval: SimTime::from_secs(1),
+        ring_capacity: 64,
+    }));
     let mut acked = std::collections::BTreeMap::new();
     let outcome = sweep_workload(&mut engine, &mut acked);
     let flush = engine.flush().map(|t| t.0).map_err(|e| e.to_string());
@@ -342,6 +347,8 @@ fn replay_digest(seed: u64) -> u64 {
         }
     }
     fold(&mut h, format!("{:?}|{:?}", injector.events(), injector.counters()).as_bytes());
+    let obs = engine.obs_snapshot().expect("recorder attached above");
+    fold(&mut h, obs.render().as_bytes());
     h
 }
 

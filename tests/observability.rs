@@ -1,0 +1,142 @@
+//! Integration tests for the deterministic observability layer.
+//!
+//! These exercise the full stack through the `kdd` umbrella crate: an
+//! engine with an attached [`Recorder`] must produce `kdd-obs/v1`
+//! snapshots that validate, reflect real cleaner/backlog dynamics, and
+//! are byte-identical across independent runs of the same seed.
+
+use kdd::obs::{validate_snapshot, Json};
+use kdd::prelude::*;
+
+const PAGE: u32 = 4096;
+
+/// Build the standard test engine: 5-disk RAID-5, 256-page cache.
+fn build_engine() -> (KddEngine, u64) {
+    let layout = Layout::new(RaidLevel::Raid5, 5, 16, 16 * 64);
+    let capacity = layout.capacity_pages();
+    let raid = RaidArray::new(layout, PAGE);
+    let cache_pages = 256u64;
+    let ssd = SsdDevice::with_logical_capacity((cache_pages + 64) * u64::from(PAGE), PAGE, 0.07);
+    let geometry = CacheGeometry { total_pages: cache_pages, ways: 16, page_size: PAGE };
+    let engine = KddEngine::new(KddConfig::new(geometry), ssd, raid).expect("engine");
+    (engine, capacity)
+}
+
+/// Drive a short seeded paper workload through the engine.
+fn drive(engine: &mut KddEngine, capacity: u64, seed: u64) {
+    use kdd::delta::content::PageMutator;
+    use std::collections::BTreeMap;
+
+    let trace = PaperTrace::Fin1.generate_scaled(20, seed);
+    let mut mutator = PageMutator::new(PAGE as usize, 0.15, 64, seed ^ 0x9e37);
+    let mut versions: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for rec in &trace.records {
+        for page in rec.pages() {
+            let lba = page % capacity;
+            match rec.op {
+                Op::Read => {
+                    engine.read(lba).expect("read");
+                }
+                Op::Write => {
+                    let next = match versions.get(&lba) {
+                        Some(prev) => mutator.mutate(prev),
+                        None => mutator.initial_page(),
+                    };
+                    engine.write(lba, &next).expect("write");
+                    versions.insert(lba, next);
+                }
+            }
+        }
+    }
+}
+
+fn observed_run(seed: u64) -> Json {
+    let (mut engine, capacity) = build_engine();
+    engine.attach_recorder(Recorder::new(RecorderConfig {
+        sample_interval: SimTime::from_secs(1),
+        ring_capacity: 64,
+    }));
+    drive(&mut engine, capacity, seed);
+    engine.flush().expect("flush");
+    engine.obs_snapshot().expect("recorder enabled")
+}
+
+fn gauge(doc: &Json, key: &str) -> f64 {
+    doc.get("totals")
+        .and_then(|t| t.get("gauges"))
+        .and_then(|g| g.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN)
+}
+
+#[test]
+fn snapshot_validates_and_covers_the_lifecycle() {
+    let doc = observed_run(42);
+    let problems = validate_snapshot(&doc);
+    assert!(problems.is_empty(), "snapshot invalid: {problems:?}");
+
+    let counter = |key: &str| {
+        doc.get("totals")
+            .and_then(|t| t.get("counters"))
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    assert!(counter("obs.requests") > 0.0, "no requests observed");
+    assert!(counter("cache.write_hits") > 0.0, "no write hits — delta path untested");
+    assert!(counter("ssd.delta_writes") > 0.0, "no DEZ delta writes recorded");
+    assert!(counter("cleaner.parity_updates") > 0.0, "cleaner never repaired parity");
+
+    // Span ring captured real completions, including delta-path classes.
+    let events = doc
+        .get("spans")
+        .and_then(|s| s.get("events"))
+        .and_then(Json::as_arr)
+        .expect("spans.events");
+    assert!(!events.is_empty(), "span ring is empty");
+    let classes: Vec<&str> =
+        events.iter().filter_map(|e| e.get("class").and_then(Json::as_str)).collect();
+    assert!(
+        classes.iter().any(|c| c.starts_with("write_hit") || *c == "write_miss"),
+        "no write completions in span ring: {classes:?}"
+    );
+    for e in events {
+        let enter = e.get("enter_ns").and_then(Json::as_f64).expect("enter_ns");
+        let exit = e.get("exit_ns").and_then(Json::as_f64).expect("exit_ns");
+        assert!(exit >= enter, "span exits before it enters");
+    }
+}
+
+#[test]
+fn cleaner_backlog_gauge_returns_to_zero_after_flush() {
+    let (mut engine, capacity) = build_engine();
+    engine.attach_recorder(Recorder::new(RecorderConfig {
+        sample_interval: SimTime::from_secs(1),
+        ring_capacity: 64,
+    }));
+    drive(&mut engine, capacity, 7);
+
+    // Mid-run the delayed-parity design must have left work behind.
+    let mid = engine.obs_snapshot().expect("snapshot");
+    assert!(
+        gauge(&mid, "cleaner.backlog_rows") > 0.0,
+        "no stale-parity backlog accumulated — write_no_parity_update path inactive"
+    );
+    assert!(gauge(&mid, "raid.stale_rows") > 0.0);
+
+    engine.flush().expect("flush");
+    let done = engine.obs_snapshot().expect("snapshot");
+    assert_eq!(gauge(&done, "cleaner.backlog_rows"), 0.0, "backlog not drained by flush");
+    assert_eq!(gauge(&done, "raid.stale_rows"), 0.0, "stale parity survived flush");
+    assert_eq!(gauge(&done, "nvram.staged_deltas"), 0.0, "staging survived flush");
+}
+
+#[test]
+fn seeded_replays_render_byte_identical_snapshots() {
+    let a = observed_run(42).render();
+    let b = observed_run(42).render();
+    assert_eq!(a, b, "same seed produced different obs snapshots");
+
+    let c = observed_run(43).render();
+    assert_ne!(a, c, "different seeds produced identical snapshots");
+}
