@@ -216,8 +216,8 @@ impl Ftl {
         self.rmap[ppn as usize] = lpn;
         cost.pages_programmed += 1;
         cost.channel = self.geometry.channel_of_block(self.block_of_ppn(ppn));
-        self.host_pages_written += 1;
-        self.nand_pages_written += 1;
+        self.host_pages_written = self.host_pages_written.saturating_add(1);
+        self.nand_pages_written = self.nand_pages_written.saturating_add(1);
         Ok(cost)
     }
 
@@ -347,7 +347,7 @@ impl Ftl {
                         self.map[lpn as usize] = new_ppn;
                         self.rmap[new_ppn as usize] = lpn;
                         cost.pages_programmed += 1;
-                        self.nand_pages_written += 1;
+                        self.nand_pages_written = self.nand_pages_written.saturating_add(1);
                         moved += 1;
                     }
                 }
@@ -355,11 +355,11 @@ impl Ftl {
             }
             // Erase the victim.
             let blk = &mut self.blocks[vb as usize];
-            blk.erase_count += 1;
+            blk.erase_count = blk.erase_count.saturating_add(1);
             blk.write_ptr = 0;
             blk.valid = 0;
-            self.erases += 1;
-            cost.erases += 1;
+            self.erases = self.erases.saturating_add(1);
+            cost.erases = cost.erases.saturating_add(1);
             if blk.erase_count >= self.timings.rated_pe_cycles {
                 blk.state = BlockState::Retired;
                 // Retired blocks never return to the pool; if everything is

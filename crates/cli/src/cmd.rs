@@ -350,7 +350,12 @@ pub fn faults(o: &Opts) -> Result<(), String> {
             }
         }
     }
-    let _ = engine.flush();
+    // Flush failures under injected faults are real outcomes, not noise:
+    // surface them and fail the run after the RPO diagnostics print.
+    let flush_err = engine.flush().err();
+    if let Some(e) = &flush_err {
+        eprintln!("final flush failed: {e}");
+    }
 
     // RPO check: every acknowledged write must read back intact. The one
     // write that was in flight at a cut is exempt (it was never acked).
@@ -392,12 +397,14 @@ pub fn faults(o: &Opts) -> Result<(), String> {
         errors,
         engine.raid().stale_row_count()
     );
-    if lost == 0 {
-        println!("RPO 0 verified: no acknowledged write lost");
-        Ok(())
-    } else {
-        Err(format!("{lost} acknowledged writes lost"))
+    if lost > 0 {
+        return Err(format!("{lost} acknowledged writes lost"));
     }
+    if let Some(e) = flush_err {
+        return Err(format!("final flush failed: {e}"));
+    }
+    println!("RPO 0 verified: no acknowledged write lost");
+    Ok(())
 }
 
 /// Drive the full engine over a seeded paper workload with an enabled
@@ -652,7 +659,9 @@ mod tests {
         ]))
         .unwrap();
         sim(&o3).unwrap();
-        std::fs::remove_dir_all(&dir).ok();
+        if let Err(e) = std::fs::remove_dir_all(&dir) {
+            eprintln!("tempdir cleanup failed ({}): {e}", dir.display());
+        }
     }
 
     #[test]

@@ -346,7 +346,7 @@ impl<E: LogEntry> MetaLog<E> {
             self.latest.insert(e.key(), Latest::Page(seq));
         }
         self.pages.push_back(MetaPage { seq, entries: entries.clone() });
-        self.pages_written += 1;
+        self.pages_written = self.pages_written.saturating_add(1);
         let batch = CommitBatch { slot: seq % self.partition_pages, seq, entries };
         if self.track_inflight {
             // Batches GC'd past the head can no longer matter to recovery.

@@ -1,0 +1,394 @@
+//! Workspace call graph: `crate::module::fn` nodes and resolved call
+//! edges, built from the per-file item extraction.
+//!
+//! Resolution is deliberately conservative — a call site resolves to a
+//! node only when the evidence is unambiguous (a typed receiver, a
+//! `Type::fn` path matched against an impl block, a unique name) — so the
+//! rules built on top (indirect-layering KDD002, error-discard KDD009)
+//! favour precision over recall. Anything unresolvable is simply not an
+//! edge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{CallSite, FileItems};
+
+/// One function node in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Crate directory name (`core`, `blockdev`, …).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace.
+    pub end_line: usize,
+    /// Function name.
+    pub name: String,
+    /// Impl-block type, if any.
+    pub owner: Option<String>,
+    /// Does the signature return a `Result`?
+    pub returns_result: bool,
+    /// Declared inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Local variable → type bindings visible in the body.
+    pub locals: Vec<(String, String)>,
+    /// Raw-write substrate token called directly in the body, if any.
+    pub raw_direct: Option<String>,
+}
+
+/// Fully-qualified display path for diagnostics (`core::KddEngine::flush`).
+impl FnNode {
+    /// Render `crate::[Type::]name`.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{}::{}::{}", self.krate, t, self.name),
+            None => format!("{}::{}", self.krate, self.name),
+        }
+    }
+}
+
+/// One analysed file, ready for graph building.
+pub struct AnalyzedFile {
+    /// Crate directory name.
+    pub krate: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Extracted items.
+    pub items: FileItems,
+    /// Per-line test-region flags (0-based index = line - 1).
+    pub in_test: Vec<bool>,
+}
+
+/// The assembled workspace (or single-file) call graph.
+pub struct CallGraph {
+    /// All function nodes.
+    pub nodes: Vec<FnNode>,
+    /// name → node indices.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (owner, name) → node indices.
+    by_owner: BTreeMap<(String, String), Vec<usize>>,
+}
+
+/// Raw mutation entry points of the device/array substrate (method names).
+pub const RAW_WRITE_METHODS: &[&str] = &[
+    "write_page",
+    "trim_page",
+    "write_no_parity_update",
+    "parity_update_with_data",
+    "parity_update_rmw",
+    "resync",
+    "rebuild",
+];
+
+/// Crates forming the sanctioned accounting boundary: raw writes reached
+/// *through* these crates are engine-mediated and therefore legal.
+pub const SANCTIONED_CRATES: &[&str] = &["core", "cache"];
+
+/// `std::fs` / `std::io` calls that return `Result` and must not be
+/// silently discarded on I/O paths (KDD009), even though they are not
+/// workspace symbols.
+pub const STD_FALLIBLE_FNS: &[&str] = &[
+    "remove_dir_all",
+    "remove_file",
+    "create_dir",
+    "create_dir_all",
+    "rename",
+    "copy",
+    "read_to_string",
+    "write_all",
+    "sync_all",
+    "sync_data",
+    "set_len",
+];
+
+impl CallGraph {
+    /// Build the graph from analysed files.
+    pub fn build(files: &[AnalyzedFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for f in files {
+            for item in &f.items.fns {
+                let in_test = item
+                    .line
+                    .checked_sub(1)
+                    .and_then(|i| f.in_test.get(i))
+                    .copied()
+                    .unwrap_or(false);
+                let raw_direct = item
+                    .calls
+                    .iter()
+                    .find(|c| c.is_method && RAW_WRITE_METHODS.contains(&c.name.as_str()))
+                    .map(|c| c.name.clone());
+                nodes.push(FnNode {
+                    krate: f.krate.clone(),
+                    file: f.rel_path.clone(),
+                    line: item.line,
+                    end_line: item.end_line,
+                    name: item.name.clone(),
+                    owner: item.owner.clone(),
+                    returns_result: item.returns_result,
+                    in_test,
+                    calls: item.calls.clone(),
+                    locals: item.locals.clone(),
+                    raw_direct,
+                });
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.clone()).or_default().push(i);
+            if let Some(o) = &n.owner {
+                by_owner.entry((o.clone(), n.name.clone())).or_default().push(i);
+            }
+        }
+        CallGraph { nodes, by_name, by_owner }
+    }
+
+    /// Resolve a call site made from `from` to candidate node indices.
+    ///
+    /// Resolution order: typed receiver (`engine.flush()` with `engine`
+    /// bound to `KddEngine`), `self` receiver (the enclosing impl type),
+    /// `Type::fn` paths, then unique-name fallback. Returns an empty vec
+    /// when the target is ambiguous or external.
+    pub fn resolve(&self, from: usize, site: &CallSite) -> Vec<usize> {
+        let node = match self.nodes.get(from) {
+            Some(n) => n,
+            None => return Vec::new(),
+        };
+        if site.is_method {
+            // Receiver type, from locals or the enclosing impl.
+            let recv_ty = site.receiver.as_deref().and_then(|r| {
+                if r == "self" {
+                    node.owner.clone()
+                } else {
+                    node.locals.iter().rev().find(|(v, _)| v == r).map(|(_, t)| t.clone())
+                }
+            });
+            if let Some(ty) = recv_ty {
+                if let Some(hits) = self.by_owner.get(&(ty, site.name.clone())) {
+                    return hits.clone();
+                }
+                // A typed receiver whose type has no such method in the
+                // workspace is external — do not fall through to the
+                // name-based guess.
+                return Vec::new();
+            }
+            // Untyped receiver: accept only a workspace-unique method name.
+            return self.unique_by_name(&site.name);
+        }
+        // Path call `A::b::f(…)`: match the last path segment against impl
+        // owners (types) first.
+        if let Some(last) = site.path.last() {
+            if let Some(hits) = self.by_owner.get(&(last.clone(), site.name.clone())) {
+                return hits.clone();
+            }
+            // Module-qualified free fn (`helper::run(…)`): unique name only.
+            return self.unique_by_name(&site.name);
+        }
+        // Bare call: same-crate free function by name, else unique.
+        if let Some(hits) = self.by_name.get(&site.name) {
+            let same_crate: Vec<usize> = hits
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].krate == node.krate && self.nodes[i].owner.is_none())
+                .collect();
+            if same_crate.len() == 1 {
+                return same_crate;
+            }
+        }
+        self.unique_by_name(&site.name)
+    }
+
+    /// Node indices iff exactly one workspace fn bears this name.
+    fn unique_by_name(&self, name: &str) -> Vec<usize> {
+        match self.by_name.get(name) {
+            Some(hits) if hits.len() == 1 => hits.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// For every node: if it can reach a raw substrate write *without*
+    /// passing through a sanctioned crate, the witness chain as
+    /// `a::f -> b::g -> .write_page(…)`; else `None`.
+    ///
+    /// Propagation stops at [`SANCTIONED_CRATES`]: the engine and cache
+    /// legitimately mutate the substrate, and calling *them* is the
+    /// sanctioned path.
+    pub fn raw_reachability(&self) -> Vec<Option<String>> {
+        let mut reach: Vec<Option<String>> = self
+            .nodes
+            .iter()
+            .map(|n| n.raw_direct.as_ref().map(|m| format!("{} -> .{m}(…)", n.qual_name())))
+            .collect();
+        // Fixed-point over call edges (graphs are small; O(V·E) is fine).
+        loop {
+            let mut changed = false;
+            for i in 0..self.nodes.len() {
+                if reach[i].is_some() || self.nodes[i].in_test {
+                    continue;
+                }
+                for site in &self.nodes[i].calls {
+                    for &j in &self.resolve(i, site) {
+                        if SANCTIONED_CRATES.contains(&self.nodes[j].krate.as_str()) {
+                            continue;
+                        }
+                        if let Some(chain) = &reach[j] {
+                            reach[i] = Some(format!("{} -> {chain}", self.nodes[i].qual_name()));
+                            changed = true;
+                            break;
+                        }
+                    }
+                    if reach[i].is_some() {
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach
+    }
+
+    /// Names of `Result`-returning fns defined in the given crates, minus
+    /// names that *also* have a non-`Result` definition anywhere in the
+    /// workspace (those are ambiguous without a typed receiver).
+    pub fn fallible_names(&self, crates: &[&str]) -> BTreeSet<String> {
+        let mut fallible = BTreeSet::new();
+        let mut infallible = BTreeSet::new();
+        for n in &self.nodes {
+            if n.in_test {
+                continue;
+            }
+            if n.returns_result && crates.contains(&n.krate.as_str()) {
+                fallible.insert(n.name.clone());
+            } else if !n.returns_result {
+                infallible.insert(n.name.clone());
+            }
+        }
+        fallible.retain(|n| !infallible.contains(n));
+        fallible
+    }
+
+    /// Does the call site resolve to a `Result`-returning workspace fn in
+    /// one of `crates`? Returns the resolved qualified name if so.
+    pub fn resolves_fallible(
+        &self,
+        from: usize,
+        site: &CallSite,
+        crates: &[&str],
+    ) -> Option<String> {
+        let hits = self.resolve(from, site);
+        if hits.is_empty() {
+            return None;
+        }
+        // Every candidate must be fallible — mixed overload sets don't count.
+        if hits.iter().all(|&i| {
+            self.nodes[i].returns_result && crates.contains(&self.nodes[i].krate.as_str())
+        }) {
+            hits.first().map(|&i| self.nodes[i].qual_name())
+        } else {
+            None
+        }
+    }
+
+    /// Index lookup for a node by (file, fn name, line).
+    pub fn node_at(&self, file: &str, line: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.file == file && n.line == line)
+    }
+
+    /// All node indices for a file.
+    pub fn nodes_in_file<'a>(&'a self, file: &'a str) -> impl Iterator<Item = usize> + 'a {
+        (0..self.nodes.len()).filter(move |&i| self.nodes[i].file == file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::lex::lex;
+
+    fn analyse(krate: &str, path: &str, src: &str) -> AnalyzedFile {
+        let lx = lex(src);
+        let items = extract(&lx);
+        AnalyzedFile {
+            krate: krate.into(),
+            rel_path: path.into(),
+            items,
+            in_test: vec![false; lx.n_lines()],
+        }
+    }
+
+    #[test]
+    fn typed_receiver_resolves_method() {
+        let core = analyse(
+            "core",
+            "crates/core/src/engine.rs",
+            "pub struct KddEngine;\n\
+             impl KddEngine {\n\
+                 pub fn flush(&mut self) -> Result<u64, String> { Ok(0) }\n\
+             }\n",
+        );
+        let cli = analyse(
+            "cli",
+            "crates/cli/src/cmd.rs",
+            "pub fn run() {\n\
+                 let mut engine = KddEngine::new(1);\n\
+                 let _ = engine.flush();\n\
+             }\n",
+        );
+        let g = CallGraph::build(&[core, cli]);
+        let run = g.node_at("crates/cli/src/cmd.rs", 1).unwrap();
+        let site = g.nodes[run].calls.iter().find(|c| c.name == "flush").unwrap().clone();
+        let q = g.resolves_fallible(run, &site, &["core"]);
+        assert_eq!(q.as_deref(), Some("core::KddEngine::flush"));
+    }
+
+    #[test]
+    fn mixed_overloads_do_not_resolve_fallible() {
+        let a = analyse(
+            "core",
+            "a.rs",
+            "pub struct A; impl A { pub fn flush(&self) -> Result<(), ()> { Ok(()) } }",
+        );
+        let b =
+            analyse("cache", "b.rs", "pub struct B; impl B { pub fn flush(&self) -> u32 { 0 } }");
+        let c = analyse("cli", "c.rs", "pub fn go(x: &B) { x.flush(); }");
+        let g = CallGraph::build(&[a, b, c]);
+        let go = g.node_at("c.rs", 1).unwrap();
+        let site = g.nodes[go].calls[0].clone();
+        // Typed receiver B → resolves to the infallible B::flush.
+        assert_eq!(g.resolves_fallible(go, &site, &["core", "cache"]), None);
+    }
+
+    #[test]
+    fn raw_reachability_propagates_and_stops_at_engine() {
+        let util =
+            analyse("util", "u.rs", "pub fn wipe(a: &mut RaidArray) { a.write_page(0, &[]); }");
+        let core = analyse(
+            "core",
+            "e.rs",
+            "pub struct KddEngine; impl KddEngine {\n\
+               pub fn write(&mut self) { self.array.write_page(0, &[]); }\n\
+             }",
+        );
+        let sim = analyse(
+            "sim",
+            "s.rs",
+            "pub fn bad(a: &mut RaidArray) { wipe(a); }\n\
+             pub fn good(e: &mut KddEngine) { e.write(); }\n",
+        );
+        let g = CallGraph::build(&[util, core, sim]);
+        let reach = g.raw_reachability();
+        let bad = g.node_at("s.rs", 1).unwrap();
+        let good = g.node_at("s.rs", 2).unwrap();
+        assert!(reach[bad].is_some(), "sim::bad reaches write_page via util::wipe");
+        assert!(reach[bad].as_deref().unwrap().contains("util::wipe"));
+        // `good` calls the engine — sanctioned, not raw-reachable.
+        assert!(reach[good].is_none(), "engine-mediated path is sanctioned");
+    }
+}

@@ -1,0 +1,727 @@
+//! Item extraction: functions, impl blocks, structs, and `use` aliases from
+//! a lexed token stream.
+//!
+//! This is not a full Rust parser — it is the minimal symbol layer the lint
+//! rules need: *which* functions exist (with their impl-block owner and
+//! whether they return `Result`), *what* each function body calls, which
+//! local variables are bound to which workspace types, and how `use`
+//! declarations alias paths. Constructs outside that scope (nested items in
+//! function bodies, macro-generated items, trait objects) are deliberately
+//! ignored; rules built on this layer are conservative by design.
+
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
+use crate::lex::{Lexed, Tok, TokKind};
+
+/// A `use` alias: the short name code refers to, and its full path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseAlias {
+    /// The name visible in this file (`FaultPlan`, or the `as` rename).
+    pub alias: String,
+    /// Full path segments, e.g. `["kdd_blockdev", "fault", "FaultPlan"]`.
+    pub segments: Vec<String>,
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+}
+
+/// A struct or enum declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeItem {
+    /// Declared name.
+    pub name: String,
+    /// 1-based line of the declaration keyword.
+    pub line: usize,
+}
+
+/// An `impl` block and its token extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplBlock {
+    /// The implementing type's last path segment (`KddEngine`). For
+    /// `impl Trait for Type`, this is `Type`.
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// Token-index range of the block body (inside the braces).
+    pub body: (usize, usize),
+}
+
+/// One function call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Called name (`flush`, `write_page`, `parse`).
+    pub name: String,
+    /// For `a::b::name(…)` calls: the path segments before the name. For
+    /// method calls: empty.
+    pub path: Vec<String>,
+    /// For method calls: the receiver identifier, when it is a simple
+    /// variable (`engine` in `engine.flush()`); `None` for chained or
+    /// complex receivers.
+    pub receiver: Option<String>,
+    /// `true` for `.name(…)` method calls.
+    pub is_method: bool,
+    /// 1-based source line of the called name.
+    pub line: usize,
+}
+
+/// A function item with its signature summary and body extent.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl type, if any.
+    pub owner: Option<String>,
+    /// Enclosing inline `mod` names, outermost first.
+    pub modules: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace (== `line` for `fn …;`).
+    pub end_line: usize,
+    /// Does the return type mention `Result`?
+    pub returns_result: bool,
+    /// Token-index range of the body (inside the braces); empty for
+    /// body-less trait methods.
+    pub body: (usize, usize),
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Local variable name → bound type name, from `let x = Type::new(…)`,
+    /// `let x: Type = …`, and typed parameters `x: &mut Type`.
+    pub locals: Vec<(String, String)>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// `use` aliases.
+    pub uses: Vec<UseAlias>,
+    /// Functions (free and impl-associated).
+    pub fns: Vec<FnItem>,
+    /// Struct/enum declarations.
+    pub types: Vec<TypeItem>,
+    /// Impl blocks.
+    pub impls: Vec<ImplBlock>,
+}
+
+/// Rust keywords that look like call names but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "move", "fn", "unsafe", "else", "in", "as",
+    "let", "mut", "ref", "break", "continue", "where", "impl", "dyn",
+];
+
+/// Extract items from a lexed file.
+pub fn extract(lx: &Lexed) -> FileItems {
+    let t = &lx.toks;
+    let mut out = FileItems::default();
+    // Context stack: enclosing impl/mod blocks as (kind, name, close_depth).
+    enum Ctx {
+        Impl(String),
+        Mod(String),
+    }
+    let mut ctx: Vec<(Ctx, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut i = 0;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.kind == TokKind::Punct {
+            match tok.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    while matches!(ctx.last(), Some((_, d)) if *d == depth) {
+                        ctx.pop();
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match tok.text.as_str() {
+            "use" => {
+                let (aliases, next) = parse_use(t, i);
+                out.uses.extend(aliases);
+                i = next;
+            }
+            "struct" | "enum" if is_ident_at(t, i + 1) => {
+                out.types.push(TypeItem { name: t[i + 1].text.clone(), line: t[i + 1].line });
+                i += 2;
+            }
+            "impl" => {
+                if let Some((type_name, open)) = parse_impl_header(t, i) {
+                    let close = matching_brace(t, open);
+                    out.impls.push(ImplBlock {
+                        type_name: type_name.clone(),
+                        line: tok.line,
+                        body: (open + 1, close),
+                    });
+                    ctx.push((Ctx::Impl(type_name), depth));
+                    depth += 1;
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "mod" if is_ident_at(t, i + 1) && is_punct_at(t, i + 2, "{") => {
+                ctx.push((Ctx::Mod(t[i + 1].text.clone()), depth));
+                depth += 1;
+                i += 3;
+            }
+            "fn" if is_ident_at(t, i + 1) => {
+                let name = t[i + 1].text.clone();
+                let line = tok.line;
+                // Signature: everything until the body `{` or a `;`, with
+                // parens/brackets balanced (closures cannot appear here).
+                let mut j = i + 2;
+                let mut pd: i64 = 0;
+                let (mut body_open, mut returns_result) = (None, false);
+                let mut seen_arrow = false;
+                while j < t.len() {
+                    let tj = &t[j];
+                    if tj.kind == TokKind::Punct {
+                        match tj.text.as_str() {
+                            "(" | "[" => pd += 1,
+                            ")" | "]" => pd -= 1,
+                            "->" if pd == 0 => seen_arrow = true,
+                            "{" if pd == 0 => {
+                                body_open = Some(j);
+                                break;
+                            }
+                            ";" if pd == 0 => break,
+                            _ => {}
+                        }
+                    } else if tj.kind == TokKind::Ident && seen_arrow && tj.text == "Result" {
+                        returns_result = true;
+                    }
+                    j += 1;
+                }
+                let owner = ctx.iter().rev().find_map(|(c, _)| match c {
+                    Ctx::Impl(n) => Some(n.clone()),
+                    _ => None,
+                });
+                let modules = ctx
+                    .iter()
+                    .filter_map(|(c, _)| match c {
+                        Ctx::Mod(n) => Some(n.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let (body, end_line) = match body_open {
+                    Some(open) => {
+                        let close = matching_brace(t, open);
+                        ((open + 1, close), t.get(close).map_or(line, |c| c.line))
+                    }
+                    None => ((j, j), line),
+                };
+                let mut item = FnItem {
+                    name,
+                    owner,
+                    modules,
+                    line,
+                    end_line,
+                    returns_result,
+                    body,
+                    calls: Vec::new(),
+                    locals: Vec::new(),
+                };
+                collect_params(t, i + 2, body_open.unwrap_or(j), &mut item.locals);
+                collect_body(t, &mut item);
+                out.fns.push(item);
+                // Skip the whole body (braces included) for item scanning:
+                // nested items in bodies are out of scope, and call
+                // extraction already ran. Both braces are skipped, so the
+                // outer depth counter stays balanced.
+                i = if body_open.is_some() { body.1 + 1 } else { body.0 };
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Is `t[i]` an identifier?
+fn is_ident_at(t: &[Tok], i: usize) -> bool {
+    t.get(i).is_some_and(|x| x.kind == TokKind::Ident)
+}
+
+/// Is `t[i]` the punct `p`?
+fn is_punct_at(t: &[Tok], i: usize, p: &str) -> bool {
+    t.get(i).is_some_and(|x| x.kind == TokKind::Punct && x.text == p)
+}
+
+/// Index of the `}` matching the `{` at `open` (or `t.len()` if unclosed).
+fn matching_brace(t: &[Tok], open: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = open;
+    while j < t.len() {
+        if t[j].kind == TokKind::Punct {
+            match t[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    t.len()
+}
+
+/// Parse `impl … {`: returns the implementing type name and the index of
+/// the opening brace.
+fn parse_impl_header(t: &[Tok], impl_idx: usize) -> Option<(String, usize)> {
+    let mut j = impl_idx + 1;
+    let mut angle: i64 = 0;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < t.len() {
+        let tj = &t[j];
+        match tj.kind {
+            TokKind::Punct => match tj.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => {
+                    let name = if saw_for { after_for } else { last_ident };
+                    return name.map(|n| (n, j));
+                }
+                ";" => return None, // `impl Trait for Type;` — not a block
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 => {
+                if tj.text == "for" {
+                    saw_for = true;
+                } else if tj.text != "where" && tj.text != "dyn" {
+                    if saw_for {
+                        after_for = Some(tj.text.clone());
+                    } else {
+                        last_ident = Some(tj.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse a `use …;` declaration starting at `use_idx`; returns the aliases
+/// and the index just past the terminating `;`.
+fn parse_use(t: &[Tok], use_idx: usize) -> (Vec<UseAlias>, usize) {
+    // Collect the token span to the `;`.
+    let mut end = use_idx + 1;
+    while end < t.len() && !is_punct_at(t, end, ";") {
+        end += 1;
+    }
+    let mut out = Vec::new();
+    let line = t[use_idx].line;
+    expand_use_tree(t, use_idx + 1, end, &mut Vec::new(), &mut out, line);
+    (out, end + 1)
+}
+
+/// Recursively expand a use tree (`a::b::{c, d as e}`) into flat aliases.
+fn expand_use_tree(
+    t: &[Tok],
+    start: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseAlias>,
+    line: usize,
+) {
+    let base_len = prefix.len();
+    let mut j = start;
+    while j < end {
+        let tok = &t[j];
+        match tok.kind {
+            TokKind::Ident if tok.text == "as" && is_ident_at(t, j + 1) => {
+                // Rename: alias the path collected so far under the new name.
+                out.push(UseAlias { alias: t[j + 1].text.clone(), segments: prefix.clone(), line });
+                prefix.truncate(base_len);
+                j += 2;
+                // Skip to the next `,` at this level.
+                j = skip_to_comma(t, j, end);
+            }
+            TokKind::Ident => {
+                prefix.push(tok.text.clone());
+                j += 1;
+            }
+            TokKind::Punct => match tok.text.as_str() {
+                "::" => {
+                    if is_punct_at(t, j + 1, "{") {
+                        let close = matching_brace(t, j + 1);
+                        // Each comma-separated subtree extends the prefix.
+                        let mut k = j + 2;
+                        while k < close {
+                            let item_end = find_comma(t, k, close);
+                            expand_use_tree(t, k, item_end, prefix, out, line);
+                            k = item_end + 1;
+                        }
+                        prefix.truncate(base_len);
+                        j = close + 1;
+                        j = skip_to_comma(t, j, end);
+                    } else {
+                        j += 1;
+                    }
+                }
+                "," => {
+                    flush_alias(prefix, base_len, out, line);
+                    prefix.truncate(base_len);
+                    j += 1;
+                }
+                "*" => {
+                    // Glob imports carry no alias information.
+                    prefix.truncate(base_len);
+                    j = skip_to_comma(t, j + 1, end);
+                }
+                _ => j += 1,
+            },
+            _ => j += 1,
+        }
+    }
+    flush_alias(prefix, base_len, out, line);
+    prefix.truncate(base_len);
+}
+
+/// Emit the alias for a completed simple path (last segment names it).
+fn flush_alias(prefix: &mut [String], base_len: usize, out: &mut Vec<UseAlias>, line: usize) {
+    if prefix.len() > base_len {
+        if let Some(last) = prefix.last() {
+            if last != "self" {
+                out.push(UseAlias { alias: last.clone(), segments: prefix.to_vec(), line });
+            } else {
+                // `use a::b::{self}` — alias `b` itself.
+                let segs: Vec<String> = prefix[..prefix.len() - 1].to_vec();
+                if let Some(name) = segs.last() {
+                    out.push(UseAlias { alias: name.clone(), segments: segs.clone(), line });
+                }
+            }
+        }
+    }
+}
+
+/// Find the `,` at brace/paren depth 0 in `[from, end)`, or `end`.
+fn find_comma(t: &[Tok], from: usize, end: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = from;
+    while j < end {
+        if t[j].kind == TokKind::Punct {
+            match t[j].text.as_str() {
+                "{" | "(" => depth += 1,
+                "}" | ")" => depth -= 1,
+                "," if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Skip forward to just past the next top-level `,` (or to `end`).
+fn skip_to_comma(t: &[Tok], from: usize, end: usize) -> usize {
+    let c = find_comma(t, from, end);
+    if c < end {
+        c + 1
+    } else {
+        end
+    }
+}
+
+/// Record typed parameters `name: [&] [mut] Type` from the signature.
+fn collect_params(t: &[Tok], sig_start: usize, sig_end: usize, locals: &mut Vec<(String, String)>) {
+    let mut j = sig_start;
+    while j + 2 < sig_end.min(t.len()) {
+        if is_ident_at(t, j) && is_punct_at(t, j + 1, ":") {
+            // Walk the type: skip `&`, lifetimes, `mut`, `dyn`; take the
+            // first type-looking identifier path's last segment before a
+            // `,`/`)`/`<`.
+            let mut k = j + 2;
+            let mut ty: Option<String> = None;
+            while k < sig_end.min(t.len()) {
+                let tk = &t[k];
+                match tk.kind {
+                    TokKind::Punct => match tk.text.as_str() {
+                        "&" | "::" => {}
+                        "," | ")" | "<" | "(" => break,
+                        _ => break,
+                    },
+                    TokKind::Lifetime => {}
+                    TokKind::Ident if tk.text == "mut" || tk.text == "dyn" || tk.text == "impl" => {
+                    }
+                    TokKind::Ident => ty = Some(tk.text.clone()),
+                    _ => break,
+                }
+                k += 1;
+            }
+            if let Some(ty) = ty {
+                locals.push((t[j].text.clone(), ty));
+            }
+            j = k;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Walk a function body: collect call sites and `let` type bindings.
+fn collect_body(t: &[Tok], item: &mut FnItem) {
+    let (start, end) = item.body;
+    let mut j = start;
+    while j < end.min(t.len()) {
+        let tok = &t[j];
+        if tok.kind != TokKind::Ident {
+            j += 1;
+            continue;
+        }
+        // `let [mut] name = Type::ctor(…)` / `let [mut] name: Type`
+        if tok.text == "let" {
+            let mut k = j + 1;
+            if t.get(k).is_some_and(|x| x.kind == TokKind::Ident && x.text == "mut") {
+                k += 1;
+            }
+            if is_ident_at(t, k) {
+                let var = t[k].text.clone();
+                if is_punct_at(t, k + 1, ":") {
+                    // Explicit annotation: reuse the parameter scanner.
+                    let stop = statement_end(t, k, end);
+                    collect_params(t, k, stop, &mut item.locals);
+                } else if is_punct_at(t, k + 1, "=") {
+                    // `= path::Type::ctor(` — bind to the path's type segment.
+                    if let Some(ty) = ctor_type(t, k + 2, end) {
+                        item.locals.push((var, ty));
+                    }
+                }
+            }
+            j += 1;
+            continue;
+        }
+        // Call site: `name(…)` with the name not a keyword/macro.
+        if is_punct_at(t, j + 1, "(") && !NON_CALL_KEYWORDS.contains(&tok.text.as_str()) {
+            let prev = j.checked_sub(1).and_then(|p| t.get(p));
+            let prev_punct = prev.filter(|p| p.kind == TokKind::Punct).map(|p| p.text.as_str());
+            if prev_punct == Some(".") {
+                // Method call; receiver is the identifier before the dot if
+                // the token before *that* is not `.`/`)`/`]` (simple var).
+                let receiver = j.checked_sub(2).and_then(|r| t.get(r)).and_then(|r| {
+                    if r.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&r.text.as_str()) {
+                        return None;
+                    }
+                    let before = j.checked_sub(3).and_then(|b| t.get(b));
+                    match before {
+                        Some(b) if b.kind == TokKind::Punct => match b.text.as_str() {
+                            "." | "::" => None, // chained or path-qualified
+                            _ => Some(r.text.clone()),
+                        },
+                        _ => Some(r.text.clone()),
+                    }
+                });
+                item.calls.push(CallSite {
+                    name: tok.text.clone(),
+                    path: Vec::new(),
+                    receiver,
+                    is_method: true,
+                    line: tok.line,
+                });
+            } else if prev_punct == Some("::") {
+                // Path call: walk back the `(ident ::)+` chain.
+                let mut path = Vec::new();
+                let mut p = j;
+                while p >= 2 && is_punct_at(t, p - 1, "::") && is_ident_at(t, p - 2) {
+                    path.push(t[p - 2].text.clone());
+                    p -= 2;
+                }
+                path.reverse();
+                item.calls.push(CallSite {
+                    name: tok.text.clone(),
+                    path,
+                    receiver: None,
+                    is_method: false,
+                    line: tok.line,
+                });
+            } else {
+                item.calls.push(CallSite {
+                    name: tok.text.clone(),
+                    path: Vec::new(),
+                    receiver: None,
+                    is_method: false,
+                    line: tok.line,
+                });
+            }
+        }
+        j += 1;
+    }
+}
+
+/// For `= Type::ctor(…)` initialisers: the type segment before the final
+/// `::fn(`, skipping leading path qualifiers.
+fn ctor_type(t: &[Tok], from: usize, end: usize) -> Option<String> {
+    // Match `ident (:: ident)* (` and return the second-to-last segment if
+    // it starts uppercase (a type, not a module).
+    let mut segs: Vec<&str> = Vec::new();
+    let mut j = from;
+    while j < end.min(t.len()) {
+        if is_ident_at(t, j) {
+            segs.push(&t[j].text);
+            if is_punct_at(t, j + 1, "::") {
+                j += 2;
+                continue;
+            }
+            if is_punct_at(t, j + 1, "(") && segs.len() >= 2 {
+                let ty = segs[segs.len() - 2];
+                if ty.chars().next().is_some_and(char::is_uppercase) {
+                    return Some(ty.to_string());
+                }
+            }
+            return None;
+        }
+        return None;
+    }
+    None
+}
+
+/// Index of the `;` ending the statement starting near `from`.
+fn statement_end(t: &[Tok], from: usize, end: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = from;
+    while j < end.min(t.len()) {
+        if t[j].kind == TokKind::Punct {
+            match t[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn items(src: &str) -> FileItems {
+        extract(&lex(src))
+    }
+
+    #[test]
+    fn fn_names_owners_and_result() {
+        let src = "
+            pub fn free() {}
+            struct S;
+            impl S {
+                pub fn method(&self) -> Result<u32, String> { Ok(1) }
+                fn plain(&self) -> u32 { 2 }
+            }
+            impl Display for S {
+                fn fmt(&self, f: &mut Formatter) -> fmt::Result { Ok(()) }
+            }
+        ";
+        let it = items(src);
+        let names: Vec<(&str, Option<&str>, bool)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref(), f.returns_result))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, false),
+                ("method", Some("S"), true),
+                ("plain", Some("S"), false),
+                ("fmt", Some("S"), true),
+            ]
+        );
+        assert_eq!(it.types.len(), 1);
+        assert_eq!(it.impls.len(), 2);
+    }
+
+    #[test]
+    fn use_aliases_expand() {
+        let it = items(
+            "use kdd_blockdev::fault::{FaultInjector, FaultPlan};\n\
+             use kdd_core::engine::KddEngine as Engine;\n\
+             use std::io::BufReader;\n",
+        );
+        let mut aliases: Vec<(String, String)> =
+            it.uses.iter().map(|u| (u.alias.clone(), u.segments.join("::"))).collect();
+        aliases.sort();
+        assert_eq!(
+            aliases,
+            vec![
+                ("BufReader".into(), "std::io::BufReader".into()),
+                ("Engine".into(), "kdd_core::engine::KddEngine".into()),
+                ("FaultInjector".into(), "kdd_blockdev::fault::FaultInjector".into()),
+                ("FaultPlan".into(), "kdd_blockdev::fault::FaultPlan".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn calls_methods_paths_and_receivers() {
+        let src = "
+            fn drive(engine: &mut KddEngine) -> Result<(), String> {
+                let plan = FaultPlan::parse(\"x\")?;
+                engine.flush().map_err(|e| e.to_string())?;
+                helper(plan);
+                Ok(())
+            }
+        ";
+        let it = items(src);
+        let f = &it.fns[0];
+        let calls: Vec<(&str, bool, Option<&str>)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.is_method, c.receiver.as_deref())).collect();
+        assert!(calls.contains(&("parse", false, None)));
+        assert!(calls.contains(&("flush", true, Some("engine"))));
+        assert!(calls.contains(&("helper", false, None)));
+        let parse = f.calls.iter().find(|c| c.name == "parse").unwrap();
+        assert_eq!(parse.path, vec!["FaultPlan".to_string()]);
+        assert!(f.locals.contains(&("engine".into(), "KddEngine".into())));
+        assert!(f.locals.contains(&("plan".into(), "FaultPlan".into())));
+    }
+
+    #[test]
+    fn let_bindings_infer_ctor_types() {
+        let src = "
+            fn build() {
+                let mut engine = KddEngine::new(cfg).unwrap();
+                let dev: SsdDevice = mk();
+                let n = helper();
+            }
+        ";
+        let it = items(src);
+        let f = &it.fns[0];
+        assert!(f.locals.contains(&("engine".into(), "KddEngine".into())));
+        assert!(f.locals.contains(&("dev".into(), "SsdDevice".into())));
+        assert!(!f.locals.iter().any(|(v, _)| v == "n"));
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let src = "fn f() { println!(\"{}\", x); write!(w, \"y\")?; g(); }";
+        let it = items(src);
+        let names: Vec<&str> = it.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(!names.contains(&"println"));
+        assert!(!names.contains(&"write"));
+        assert!(names.contains(&"g"));
+    }
+
+    #[test]
+    fn nested_mod_names_recorded() {
+        let src = "mod inner { fn f() {} } fn outer() {}";
+        let it = items(src);
+        assert_eq!(it.fns[0].modules, vec!["inner".to_string()]);
+        assert!(it.fns[1].modules.is_empty());
+    }
+}

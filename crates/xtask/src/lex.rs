@@ -1,0 +1,465 @@
+//! A small dependency-free Rust lexer: the single place comments, string
+//! literals, raw strings, char literals, and lifetimes are disambiguated.
+//!
+//! Every kdd-lint pass consumes this one token stream (or the per-line
+//! code/comment renderings derived from it), so the tricky cases — nested
+//! block comments, `r#"…"#` raw strings, `'a` lifetimes vs `'x'` char
+//! literals, escaped quotes — are handled exactly once.
+//!
+//! The lexer is deliberately lossy where lint rules do not care: numeric
+//! literal suffixes are folded into one token, and multi-character
+//! operators are combined only for the handful the rules inspect
+//! (`::`, `->`, `=>`, `+=`, `-=`, `==`, `!=`, `<=`, `>=`, `..`).
+
+// Indexing here is audited: offsets come from length-checked parses or
+// module invariants. See DESIGN.md "Static analysis & invariants".
+#![allow(clippy::indexing_slicing)]
+
+/// What a token is, at the granularity lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `engine`, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Numeric literal, suffix included (`4096`, `0u8`, `1e9`).
+    Num,
+    /// String literal (plain, raw, or byte); `text` holds the unquoted value.
+    Str,
+    /// Char or byte literal; `text` holds the source form without quotes.
+    Char,
+    /// Punctuation; one character, or one of the combined operators.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. For `Str`/`Char` this is the literal *value region*
+    /// (quotes and raw-string hashes stripped, escapes left as written).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// 0-based char column of the token's first character.
+    pub col: usize,
+    /// Length in chars of the whole source form (quotes included).
+    pub src_len: usize,
+}
+
+/// One comment (line or block; block text may span lines and contain `\n`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 0-based char column of the `//` or `/*`.
+    pub col: usize,
+    /// Full comment text including the delimiters.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Token stream, comments excluded.
+    pub toks: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Char length of every source line (for rendering the line grids).
+    line_lens: Vec<usize>,
+}
+
+/// Is `c` part of an identifier?
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Two-character operators the lexer combines into a single `Punct`.
+const TWO_CHAR_OPS: &[[char; 2]] = &[
+    [':', ':'],
+    ['-', '>'],
+    ['=', '>'],
+    ['+', '='],
+    ['-', '='],
+    ['=', '='],
+    ['!', '='],
+    ['<', '='],
+    ['>', '='],
+    ['.', '.'],
+];
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let line_lens = src.lines().map(|l| l.chars().count()).collect::<Vec<_>>();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let (mut line, mut col) = (1usize, 0usize);
+    let mut i = 0;
+    // Advance the cursor over `n` chars, tracking line/col.
+    macro_rules! advance {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                        col = 0;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        let (tline, tcol) = (line, col);
+        match c {
+            c if c.is_whitespace() => {
+                advance!(1);
+            }
+            '/' if next == Some('/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    advance!(1);
+                }
+                comments.push(Comment {
+                    line: tline,
+                    col: tcol,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if next == Some('*') => {
+                let start = i;
+                let mut depth = 0u32;
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        advance!(2);
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        advance!(2);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        advance!(1);
+                    }
+                }
+                comments.push(Comment {
+                    line: tline,
+                    col: tcol,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '"' => {
+                let start = i;
+                advance!(1);
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        advance!(2);
+                    } else if b[i] == '"' {
+                        advance!(1);
+                        break;
+                    } else {
+                        advance!(1);
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[start + 1..i.saturating_sub(1).max(start + 1)].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                    src_len: i - start,
+                });
+            }
+            'r' if matches!(next, Some('"') | Some('#'))
+                && !prev_is_ident(&b, i)
+                && raw_str_hashes(&b, i + 1).is_some() =>
+            {
+                let start = i;
+                let h = raw_str_hashes(&b, i + 1).unwrap_or(0);
+                advance!(h + 2); // r##…#"
+                let val_start = i;
+                let mut val_end = i;
+                while i < b.len() {
+                    if b[i] == '"' && (1..=h).all(|k| b.get(i + k) == Some(&'#')) {
+                        val_end = i;
+                        advance!(h + 1);
+                        break;
+                    }
+                    advance!(1);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[val_start..val_end].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                    src_len: i - start,
+                });
+            }
+            '\'' => {
+                if is_char_literal(&b, i) {
+                    let start = i;
+                    advance!(1);
+                    while i < b.len() {
+                        if b[i] == '\\' {
+                            advance!(2);
+                        } else if b[i] == '\'' {
+                            advance!(1);
+                            break;
+                        } else {
+                            advance!(1);
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[start + 1..i.saturating_sub(1).max(start + 1)].iter().collect(),
+                        line: tline,
+                        col: tcol,
+                        src_len: i - start,
+                    });
+                } else {
+                    // Lifetime: `'` plus the identifier after it.
+                    let start = i;
+                    advance!(1);
+                    while i < b.len() && is_ident(b[i]) {
+                        advance!(1);
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line: tline,
+                        col: tcol,
+                        src_len: i - start,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() {
+                    let d = b[i];
+                    if is_ident(d) {
+                        // `1e-9` / `1E+9`: the sign belongs to the exponent.
+                        if (d == 'e' || d == 'E')
+                            && matches!(b.get(i + 1), Some('+') | Some('-'))
+                            && b.get(i + 2).is_some_and(char::is_ascii_digit)
+                        {
+                            advance!(2);
+                        }
+                        advance!(1);
+                    } else if d == '.'
+                        && b.get(i + 1).is_some_and(char::is_ascii_digit)
+                        && !matches!(toks.last(), Some(t) if t.kind == TokKind::Punct && t.text == "..")
+                    {
+                        advance!(1);
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                    src_len: i - start,
+                });
+            }
+            c if is_ident(c) => {
+                let start = i;
+                while i < b.len() && is_ident(b[i]) {
+                    advance!(1);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                    src_len: i - start,
+                });
+            }
+            _ => {
+                let combined =
+                    next.is_some_and(|n| TWO_CHAR_OPS.iter().any(|[a, z]| *a == c && *z == n));
+                let len = if combined { 2 } else { 1 };
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: b[i..i + len].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                    src_len: len,
+                });
+                advance!(len);
+            }
+        }
+    }
+    Lexed { toks, comments, line_lens }
+}
+
+/// Is `b[i]` preceded by an identifier char (so `r` is part of a name)?
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && b.get(i - 1).is_some_and(|c| is_ident(*c))
+}
+
+/// If `b[i..]` opens a raw string (`"` or `#…#"`), how many `#`s?
+fn raw_str_hashes(b: &[char], i: usize) -> Option<usize> {
+    let mut h = 0;
+    let mut j = i;
+    while b.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some(h)
+}
+
+/// Distinguish a char literal from a lifetime at `b[i] == '\''`.
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some('\\') => true,
+        Some(c) if is_ident(*c) => b.get(i + 2) == Some(&'\''),
+        Some(_) => true, // e.g. `'('` — punctuation can only be a char literal
+        None => false,
+    }
+}
+
+impl Lexed {
+    /// Number of source lines.
+    pub fn n_lines(&self) -> usize {
+        self.line_lens.len()
+    }
+
+    /// Render the *code* view: one string per source line, with comments and
+    /// string/char literal contents blanked to spaces. Identifiers, numbers,
+    /// lifetimes, and punctuation appear verbatim at their original columns,
+    /// so line/column-based rules see exactly what a scrubbed source view
+    /// would show.
+    pub fn code_lines(&self) -> Vec<String> {
+        let mut grid = self.blank_grid();
+        for t in &self.toks {
+            match t.kind {
+                TokKind::Str | TokKind::Char => {} // literals stay blank
+                _ => splice(&mut grid, t.line, t.col, &t.text),
+            }
+        }
+        grid.into_iter().map(|l| l.into_iter().collect()).collect()
+    }
+
+    /// Render the *comment* view: one string per source line, with
+    /// everything except comment text blanked. Waivers are parsed from this
+    /// view, so a string literal mentioning waiver syntax can never enact
+    /// one.
+    pub fn comment_lines(&self) -> Vec<String> {
+        let mut grid = self.blank_grid();
+        for c in &self.comments {
+            let (mut line, mut col) = (c.line, c.col);
+            for piece in c.text.split('\n') {
+                splice(&mut grid, line, col, piece);
+                line += 1;
+                col = 0;
+            }
+        }
+        grid.into_iter().map(|l| l.into_iter().collect()).collect()
+    }
+
+    /// A grid of space-filled lines matching the source's line lengths.
+    fn blank_grid(&self) -> Vec<Vec<char>> {
+        self.line_lens.iter().map(|&n| vec![' '; n]).collect()
+    }
+}
+
+/// Write `text` into the grid at (1-based `line`, 0-based `col`).
+fn splice(grid: &mut [Vec<char>], line: usize, col: usize, text: &str) {
+    let Some(row) = grid.get_mut(line.wrapping_sub(1)) else { return };
+    for (k, ch) in text.chars().enumerate() {
+        if let Some(slot) = row.get_mut(col + k) {
+            *slot = ch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let lx = lex("let x = a.b_c(42u8) + 1e9;");
+        let texts: Vec<&str> = lx.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", ".", "b_c", "(", "42u8", ")", "+", "1e9", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let lx = lex("call(\"lit // not a comment\"); // real comment\n");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("real comment"));
+        let strs: Vec<&str> =
+            lx.toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, vec!["lit // not a comment"]);
+    }
+
+    #[test]
+    fn raw_strings_and_char_vs_lifetime() {
+        let lx = lex("let s = r#\"raw \"x\" here\"#; let c = 'a'; fn f<'a>(x: &'a u8) {}");
+        let strs: Vec<&Tok> = lx.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "raw \"x\" here");
+        assert_eq!(lx.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert_eq!(lx.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("a /* outer /* inner */ still */ b");
+        let idents: Vec<&str> =
+            lx.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn combined_operators() {
+        let lx = lex("x += 1; y -> z; a::b; p..q; m != n;");
+        let ops: Vec<&str> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text.len() == 2)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, vec!["+=", "->", "::", "..", "!="]);
+    }
+
+    #[test]
+    fn code_lines_blank_literals_and_comments() {
+        let src = "let s = \"x.unwrap()\"; // c.unwrap()\nlet t = 1;\n";
+        let lx = lex(src);
+        let code = lx.code_lines();
+        assert!(!code[0].contains("unwrap"), "literal + comment blanked: {:?}", code[0]);
+        assert!(code[0].contains("let s ="));
+        assert_eq!(code[1].trim_end(), "let t = 1;");
+        let com = lx.comment_lines();
+        assert!(com[0].contains("c.unwrap()"));
+        assert!(!com[0].contains("let"));
+    }
+
+    #[test]
+    fn multiline_block_comment_renders_per_line() {
+        let src = "a /* one\ntwo */ b\n";
+        let lx = lex(src);
+        let com = lx.comment_lines();
+        assert!(com[0].contains("/* one"));
+        assert!(com[1].contains("two */"));
+        let code = lx.code_lines();
+        assert!(code[1].contains('b'));
+        assert!(!code[1].contains("two"));
+    }
+}

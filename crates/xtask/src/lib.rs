@@ -1,11 +1,32 @@
-//! `kdd-lint`: a dependency-free static-analysis pass over the KDD workspace.
+//! `kdd-lint`: a dependency-free static-analysis engine over the KDD
+//! workspace.
 //!
 //! The compiler cannot see the invariants KDD's correctness story rests on:
 //! stale parity left by `write_no_parity_update` must be registered for the
 //! cleaner, seeded fault replay is only sound if every code path is
-//! deterministic, and the I/O path must degrade through typed errors rather
-//! than panicking mid-stripe. This crate enforces those rules mechanically
-//! on every PR (`cargo run -p xtask -- lint`).
+//! deterministic, endurance counters must survive years of compressed wear
+//! without overflowing, and the I/O path must degrade through typed errors
+//! rather than panicking mid-stripe. This crate enforces those rules
+//! mechanically on every PR (`cargo run -p xtask -- lint`).
+//!
+//! ## Architecture
+//!
+//! The engine is a symbol-aware, multi-pass pipeline (still free of
+//! third-party dependencies):
+//!
+//! 1. **Lexer** ([`lex`]) — one real token stream per file; comments,
+//!    strings, raw strings, char literals, and lifetimes are disambiguated
+//!    exactly once and shared by every rule.
+//! 2. **Item extraction** ([`items`]) — functions (with impl owner and
+//!    `Result`-ness), structs, impl blocks, `use` aliases, call sites, and
+//!    local `let`-binding types per file.
+//! 3. **Call graph** ([`callgraph`]) — workspace-wide `crate::Type::fn`
+//!    nodes with conservatively-resolved call edges, raw-write
+//!    reachability, and the fallible-API set.
+//! 4. **Rules** — line rules run over the rendered code/comment views;
+//!    symbol rules (`KDD002` indirect, `KDD009`) run over the graph;
+//!    `KDD011` cross-checks the token stream against the committed
+//!    `kdd-obs/v1` snapshot.
 //!
 //! ## Rules
 //!
@@ -13,12 +34,16 @@
 //! |---|---|---|
 //! | `KDD000` | `waiver` | malformed waiver comments (missing `-- <reason>`) |
 //! | `KDD001` | `no-panic` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code of the I/O-path crates |
-//! | `KDD002` | `layering` | raw device/array writes (`write_page`, `parity_update_*`, …) from `sim`, `bench`, `cli`, or `trace` |
+//! | `KDD002` | `layering` | raw device/array writes from `sim`, `bench`, `cli`, or `trace` — direct tokens *and* indirect call chains that reach the substrate without passing through the engine |
 //! | `KDD003` | `determinism` | wall-clock time, `thread_rng`, and default-hasher `HashMap`/`HashSet` outside `bench`/`cli` |
 //! | `KDD004` | `stale-parity` | `write_no_parity_update` call sites in modules that never repair or register stale parity |
-//! | `KDD005` | `indexing-slicing` | unchecked slice indexing in the I/O-path crates (pedantic, `--pedantic` only) |
+//! | `KDD005` | `indexing-slicing` | unchecked slice indexing in the I/O-path crates without an audited `#![allow(clippy::indexing_slicing)]` header (pedantic, `--pedantic` only) |
 //! | `KDD006` | `hot-alloc` | per-op allocations (`vec![0u8; …]`, `.to_vec()`, `.clone()`) in the hot-path files — use the `PagePool` |
-//! | `KDD007` | `obs-determinism` | wall-clock time and float accumulation in `crates/obs` or any file that registers metrics — snapshots must be byte-identical across seeded replays |
+//! | `KDD007` | `obs-determinism` | wall-clock time and float accumulation in `crates/obs` or any file that registers metrics |
+//! | `KDD008` | `concurrency-readiness` | `Rc<…>`, `RefCell`, `Cell<…>`, `static mut`, `thread_local!`, and raw `*mut` state in the crates the sharded engine will run N-way |
+//! | `KDD009` | `error-discard` | `let _ = …;` and `….ok();` applied to `Result`-returning I/O-path calls (resolved through the call graph) |
+//! | `KDD010` | `counter-arithmetic` | narrowing `as` casts and unchecked `+`/`+=` on endurance counters (erase counts, WAF accumulators, stale-row counters) |
+//! | `KDD011` | `obs-schema` | drift between metric/span names registered in code and the committed `OBS_engine.json` snapshot |
 //!
 //! ## Waivers
 //!
@@ -35,21 +60,40 @@
 //! // kdd-waiver(KDD006): page is returned to the caller by value
 //! ```
 //!
-//! The waiver applies to code on the same line, or — when the comment stands
-//! alone — to the next line with code on it. A waiver without ` -- <reason>`
-//! (or, for the shorthand, without text after the colon) is itself a
-//! violation (`KDD000`).
+//! A file-scope waiver covers every violation of one rule in the file:
 //!
-//! The engine is line/token-aware, not AST-aware: comments and string
-//! literals are scrubbed before matching, `#[cfg(test)]` / `#[test]` regions
-//! are excluded by brace tracking, and doc-test examples never trigger rules.
+//! ```text
+//! // kdd-lint: allow-file(counter-arithmetic) -- counters here are test doubles
+//! ```
+//!
+//! For `KDD005` only, an audited `#![allow(clippy::indexing_slicing)]`
+//! header — the workspace's established spelling, with the audit note in
+//! the comment directly above it — acts as a file-scope waiver.
+//!
+//! The inline waiver applies to code on the same line, or — when the
+//! comment stands alone — to the next line with code on it. A waiver
+//! without ` -- <reason>` (or, for the shorthand, without text after the
+//! colon) is itself a violation (`KDD000`).
+//!
+//! Comments and string literals are scrubbed before matching, `#[cfg(test)]`
+//! / `#[test]` regions are excluded by brace tracking, and doc-test
+//! examples never trigger rules.
 
 // Indexing here is audited: offsets come from length-checked parses or
 // module invariants. See DESIGN.md "Static analysis & invariants".
 #![allow(clippy::indexing_slicing)]
 
+pub mod callgraph;
+pub mod items;
+pub mod lex;
+
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use callgraph::{AnalyzedFile, CallGraph, SANCTIONED_CRATES, STD_FALLIBLE_FNS};
+use kdd_obs::{json, Json};
+use lex::{Lexed, TokKind};
 
 /// Crates whose non-test code must never panic (rule `KDD001`, `KDD005`).
 pub const PANIC_FREE_CRATES: &[&str] = &["blockdev", "raid", "core", "cache", "delta", "obs"];
@@ -59,6 +103,20 @@ pub const LAYERING_RESTRICTED_CRATES: &[&str] = &["sim", "bench", "cli", "trace"
 
 /// Crates allowed to read wall-clock time and use default hashers (`KDD003`).
 pub const NONDETERMINISM_ALLOWED_CRATES: &[&str] = &["bench", "cli", "xtask"];
+
+/// Crates the sharded multi-tenant engine will run N-way: their state must
+/// be `Send`-ready, so single-thread-only ownership/interior-mutability
+/// constructs are forbidden (rule `KDD008`).
+pub const CONCURRENCY_READY_CRATES: &[&str] =
+    &["core", "cache", "raid", "blockdev", "delta", "obs"];
+
+/// Crates whose `Result`-returning APIs must never be silently discarded
+/// (rule `KDD009` resolves discards against fns defined here).
+pub const FALLIBLE_API_CRATES: &[&str] = &["blockdev", "raid", "core", "cache", "obs"];
+
+/// Crates carrying endurance counters whose arithmetic must be checked
+/// (rule `KDD010`).
+pub const COUNTER_CRATES: &[&str] = &["blockdev", "raid", "core", "cache", "delta", "obs"];
 
 /// Raw mutation entry points of the device/array substrate. Only the cache,
 /// core engine, and RAID internals may call these; everything above goes
@@ -100,6 +158,10 @@ const HOT_ALLOC_TOKENS: &[&str] = &["vec![0u8;", ".to_vec()", ".clone()"];
 /// observability registry and falls under rule `KDD007` wherever it lives.
 const OBS_REGISTER_TOKENS: &[&str] = &[".register_counter(", ".register_gauge(", ".register_hist"];
 
+/// Registration method names rule `KDD011` extracts metric names from.
+const OBS_REGISTER_METHODS: &[(&str, &str)] =
+    &[("register_counter", "counters"), ("register_gauge", "gauges"), ("register_hist", "hists")];
+
 /// Wall-clock tokens rule `KDD007` forbids in observability code. Snapshots
 /// are keyed on `SimTime`; an ambient timestamp would differ across replays.
 const OBS_WALLCLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "std::time::"];
@@ -121,6 +183,19 @@ const STALE_REPAIR_TOKENS: &[&str] = &[
     "mark_stale",
 ];
 
+/// Single-thread-only constructs rule `KDD008` forbids by identifier.
+const SEND_HOSTILE_IDENTS: &[&str] = &["Rc", "RefCell", "Cell"];
+
+/// Identifier substrings that mark an endurance counter (rule `KDD010`):
+/// erase counts, WAF accumulators, stale-row counters, wear statistics.
+const COUNTER_NAME_HINTS: &[&str] =
+    &["erase", "waf", "stale_row", "wear", "pages_written", "written_bytes"];
+
+/// Cast targets that narrow an endurance counter (`u64` is the canonical
+/// counter width; `usize` narrows on 32-bit targets, `f32` loses precision).
+const NARROWING_CAST_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize", "f32"];
+
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
@@ -128,7 +203,7 @@ pub enum Rule {
     Waiver,
     /// `KDD001` — panicking construct on an I/O path.
     NoPanic,
-    /// `KDD002` — raw device write from a restricted layer.
+    /// `KDD002` — raw device write (direct or reachable) from a restricted layer.
     Layering,
     /// `KDD003` — nondeterministic construct outside `bench`/`cli`.
     Determinism,
@@ -140,7 +215,31 @@ pub enum Rule {
     HotAlloc,
     /// `KDD007` — nondeterministic construct in observability code.
     ObsDeterminism,
+    /// `KDD008` — `Send`-hostile state in a shard-ready crate.
+    ConcurrencyReadiness,
+    /// `KDD009` — silently discarded `Result` from an I/O-path API.
+    ErrorDiscard,
+    /// `KDD010` — unchecked arithmetic or narrowing cast on an endurance counter.
+    CounterArithmetic,
+    /// `KDD011` — drift between registered obs names and the committed snapshot.
+    ObsSchema,
 }
+
+/// Every rule, in ID order.
+const ALL_RULES: &[Rule] = &[
+    Rule::Waiver,
+    Rule::NoPanic,
+    Rule::Layering,
+    Rule::Determinism,
+    Rule::StaleParity,
+    Rule::IndexingSlicing,
+    Rule::HotAlloc,
+    Rule::ObsDeterminism,
+    Rule::ConcurrencyReadiness,
+    Rule::ErrorDiscard,
+    Rule::CounterArithmetic,
+    Rule::ObsSchema,
+];
 
 impl Rule {
     /// Stable rule ID, e.g. `KDD001`.
@@ -154,6 +253,10 @@ impl Rule {
             Rule::IndexingSlicing => "KDD005",
             Rule::HotAlloc => "KDD006",
             Rule::ObsDeterminism => "KDD007",
+            Rule::ConcurrencyReadiness => "KDD008",
+            Rule::ErrorDiscard => "KDD009",
+            Rule::CounterArithmetic => "KDD010",
+            Rule::ObsSchema => "KDD011",
         }
     }
 
@@ -168,22 +271,19 @@ impl Rule {
             Rule::IndexingSlicing => "indexing-slicing",
             Rule::HotAlloc => "hot-alloc",
             Rule::ObsDeterminism => "obs-determinism",
+            Rule::ConcurrencyReadiness => "concurrency-readiness",
+            Rule::ErrorDiscard => "error-discard",
+            Rule::CounterArithmetic => "counter-arithmetic",
+            Rule::ObsSchema => "obs-schema",
         }
     }
 
     /// Parse a rule from its name or its `KDDnnn` code.
     pub fn parse(s: &str) -> Option<Rule> {
-        let all = [
-            Rule::Waiver,
-            Rule::NoPanic,
-            Rule::Layering,
-            Rule::Determinism,
-            Rule::StaleParity,
-            Rule::IndexingSlicing,
-            Rule::HotAlloc,
-            Rule::ObsDeterminism,
-        ];
-        all.into_iter().find(|r| r.name() == s || r.code() == s || r.code().eq_ignore_ascii_case(s))
+        ALL_RULES
+            .iter()
+            .copied()
+            .find(|r| r.name() == s || r.code() == s || r.code().eq_ignore_ascii_case(s))
     }
 }
 
@@ -228,9 +328,9 @@ pub struct WaiverUse {
 /// Linter options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Options {
-    /// Also run the pedantic `KDD005` indexing rule (the workspace relies on
-    /// `clippy::indexing_slicing` with per-file allows for enforcement; the
-    /// xtask rule exists for fixtures and ad-hoc audits).
+    /// Also run the pedantic `KDD005` indexing rule. Files carrying the
+    /// audited `#![allow(clippy::indexing_slicing)]` header are
+    /// file-waived; everything else must justify each site.
     pub pedantic: bool,
 }
 
@@ -243,167 +343,76 @@ pub struct Report {
     pub waivers: Vec<WaiverUse>,
 }
 
-// ---------------------------------------------------------------------------
-// Source scrubbing
-// ---------------------------------------------------------------------------
-
-/// A source line after scrubbing, with the metadata rules need.
-#[derive(Debug)]
-struct Line {
-    /// Code with comments and string/char literals blanked to spaces.
-    code: String,
-    /// Comment text only (code and literals blanked): waivers live here, so
-    /// a string literal mentioning the waiver syntax can never enact one.
-    comment: String,
-    /// Inside a `#[cfg(test)]` / `#[test]` region.
-    in_test: bool,
+impl Report {
+    /// Render the report as stable machine-readable JSON
+    /// (`kdd-lint/v1`): findings and honoured waivers, sorted by
+    /// file/line/rule.
+    pub fn render_json(&self) -> String {
+        let finding = |v: &Violation| {
+            json::obj(vec![
+                ("rule", Json::Str(v.rule.code().to_string())),
+                ("name", Json::Str(v.rule.name().to_string())),
+                ("file", Json::Str(v.file.clone())),
+                ("line", Json::Num(v.line as f64)),
+                ("message", Json::Str(v.message.clone())),
+            ])
+        };
+        let waiver = |w: &WaiverUse| {
+            json::obj(vec![
+                ("rule", Json::Str(w.rule.code().to_string())),
+                ("file", Json::Str(w.file.clone())),
+                ("line", Json::Num(w.line as f64)),
+                ("reason", Json::Str(w.reason.clone())),
+            ])
+        };
+        json::obj(vec![
+            ("schema", Json::Str("kdd-lint/v1".to_string())),
+            ("violations", Json::Arr(self.violations.iter().map(finding).collect())),
+            ("waivers", Json::Arr(self.waivers.iter().map(waiver).collect())),
+        ])
+        .render()
+    }
 }
 
-/// Scrub `src` into two parallel streams of identical line structure:
-/// `.0` = code with comments and string/char literals blanked to spaces,
-/// `.1` = comments only, with everything else blanked.
-fn scrub(src: &str) -> (String, String) {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut code = String::with_capacity(src.len());
-    let mut com = String::with_capacity(src.len());
-    // Emit one position to both streams: `c` goes to whichever stream
-    // `to_code`/`to_com` select; the other gets a space (newlines go to both).
-    let mut put = |c: char, to_code: bool, to_com: bool| {
-        if c == '\n' {
-            code.push('\n');
-            com.push('\n');
-        } else {
-            code.push(if to_code { c } else { ' ' });
-            com.push(if to_com { c } else { ' ' });
-        }
+// ---------------------------------------------------------------------------
+// File analysis
+// ---------------------------------------------------------------------------
+
+/// One fully-analysed file: token stream, rendered line views, test-region
+/// flags. The companion [`AnalyzedFile`] carries the extracted items into
+/// the call graph.
+struct FileAnalysis {
+    krate: String,
+    rel: String,
+    lexed: Lexed,
+    code: Vec<String>,
+    comment: Vec<String>,
+    in_test: Vec<bool>,
+}
+
+/// Lex, render, and extract one file.
+fn analyse(krate: &str, rel: &str, src: &str) -> (FileAnalysis, AnalyzedFile) {
+    let lexed = lex::lex(src);
+    let code = lexed.code_lines();
+    let comment = lexed.comment_lines();
+    let code_refs: Vec<&str> = code.iter().map(String::as_str).collect();
+    let in_test = mark_test_regions(&code_refs);
+    let items = items::extract(&lexed);
+    let af = AnalyzedFile {
+        krate: krate.to_string(),
+        rel_path: rel.to_string(),
+        items,
+        in_test: in_test.clone(),
     };
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    put(c, false, true);
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    put(c, false, true);
-                    put('*', false, true);
-                    i += 1; // consume the `*` so `/*/` does not self-close
-                }
-                '"' => {
-                    st = St::Str;
-                    put(c, false, false);
-                }
-                'r' if matches!(next, Some('"') | Some('#'))
-                    && !prev_is_ident(&b, i)
-                    && raw_str_hashes(&b, i + 1).is_some() =>
-                {
-                    let h = raw_str_hashes(&b, i + 1).unwrap_or(0);
-                    st = St::RawStr(h);
-                    for _ in 0..(h + 2) {
-                        put(' ', false, false);
-                    }
-                    i += h + 1; // consume r##...#"
-                }
-                '\'' if is_char_literal(&b, i) => {
-                    st = St::Char;
-                    put(c, false, false);
-                }
-                _ => put(c, true, false),
-            },
-            St::LineComment => {
-                if c == '\n' {
-                    st = St::Code;
-                }
-                put(c, false, true);
-            }
-            St::BlockComment(depth) => {
-                put(c, false, true);
-                if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    put('*', false, true);
-                    i += 1;
-                } else if c == '*' && next == Some('/') {
-                    put('/', false, true);
-                    i += 1;
-                    st = if depth == 1 { St::Code } else { St::BlockComment(depth - 1) };
-                }
-            }
-            St::Str => {
-                put(c, false, false);
-                if c == '\\' {
-                    put(next.unwrap_or(' '), false, false);
-                    i += 1;
-                } else if c == '"' {
-                    st = St::Code;
-                }
-            }
-            St::RawStr(h) => {
-                put(c, false, false);
-                if c == '"' && raw_str_closes(&b, i, h) {
-                    for _ in 0..h {
-                        put(' ', false, false);
-                    }
-                    i += h;
-                    st = St::Code;
-                }
-            }
-            St::Char => {
-                put(c, false, false);
-                if c == '\\' {
-                    put(' ', false, false);
-                    i += 1;
-                } else if c == '\'' {
-                    st = St::Code;
-                }
-            }
-        }
-        i += 1;
-    }
-    (code, com)
-}
-
-/// Is `b[i]` preceded by an identifier char (so `r` is part of a name)?
-fn prev_is_ident(b: &[char], i: usize) -> bool {
-    i > 0 && b.get(i - 1).is_some_and(|c| c.is_alphanumeric() || *c == '_')
-}
-
-/// If `b[i..]` opens a raw string (`"` or `#...#"`), how many `#`s?
-fn raw_str_hashes(b: &[char], i: usize) -> Option<usize> {
-    let mut h = 0;
-    let mut j = i;
-    while b.get(j) == Some(&'#') {
-        h += 1;
-        j += 1;
-    }
-    (b.get(j) == Some(&'"')).then_some(h)
-}
-
-/// Does the `"` at `b[i]` close a raw string with `h` trailing `#`s?
-fn raw_str_closes(b: &[char], i: usize, h: usize) -> bool {
-    (1..=h).all(|k| b.get(i + k) == Some(&'#'))
-}
-
-/// Distinguish a char literal from a lifetime at `b[i] == '\''`.
-fn is_char_literal(b: &[char], i: usize) -> bool {
-    match b.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => b.get(i + 2) == Some(&'\''),
-        None => false,
-    }
+    let fa = FileAnalysis {
+        krate: krate.to_string(),
+        rel: rel.to_string(),
+        lexed,
+        code,
+        comment,
+        in_test,
+    };
+    (fa, af)
 }
 
 /// Mark lines inside `#[cfg(test)]` / `#[test]` / `#[bench]` regions.
@@ -464,6 +473,8 @@ fn mark_test_regions(scrubbed_lines: &[&str]) -> Vec<bool> {
 struct Waiver {
     rule: Option<Rule>,
     reason: Option<String>,
+    /// File-scope (`allow-file`) rather than line-scope.
+    file_scope: bool,
     /// The raw text inside `allow(...)` (for diagnostics).
     rule_text: String,
 }
@@ -475,7 +486,11 @@ fn parse_waivers(raw: &str) -> Vec<Waiver> {
     while let Some(pos) = rest.find("kdd-lint:") {
         let after = &rest[pos + "kdd-lint:".len()..];
         let after = after.trim_start();
-        if let Some(args) = after.strip_prefix("allow(") {
+        let (args_opt, file_scope) = match after.strip_prefix("allow-file(") {
+            Some(a) => (Some(a), true),
+            None => (after.strip_prefix("allow("), false),
+        };
+        if let Some(args) = args_opt {
             if let Some(close) = args.find(')') {
                 let rule_text = args[..close].trim().to_string();
                 let tail = &args[close + 1..];
@@ -483,13 +498,14 @@ fn parse_waivers(raw: &str) -> Vec<Waiver> {
                 out.push(Waiver {
                     rule: Rule::parse(&rule_text),
                     reason: reason.filter(|r| !r.is_empty()),
+                    file_scope,
                     rule_text,
                 });
                 rest = &args[close + 1..];
                 continue;
             }
         }
-        out.push(Waiver { rule: None, reason: None, rule_text: String::new() });
+        out.push(Waiver { rule: None, reason: None, file_scope: false, rule_text: String::new() });
         rest = after;
     }
     // Shorthand form: `kdd-waiver(KDD006): reason`.
@@ -497,13 +513,18 @@ fn parse_waivers(raw: &str) -> Vec<Waiver> {
     while let Some(pos) = rest.find("kdd-waiver(") {
         let args = &rest[pos + "kdd-waiver(".len()..];
         let Some(close) = args.find(')') else {
-            out.push(Waiver { rule: None, reason: None, rule_text: String::new() });
+            out.push(Waiver {
+                rule: None,
+                reason: None,
+                file_scope: false,
+                rule_text: String::new(),
+            });
             break;
         };
         let rule_text = args[..close].trim().to_string();
         let tail = &args[close + 1..];
         let reason = tail.strip_prefix(':').map(|r| r.trim().to_string()).filter(|r| !r.is_empty());
-        out.push(Waiver { rule: Rule::parse(&rule_text), reason, rule_text });
+        out.push(Waiver { rule: Rule::parse(&rule_text), reason, file_scope: false, rule_text });
         rest = tail;
     }
     out
@@ -560,118 +581,178 @@ fn has_index_expr(code: &str) -> bool {
     })
 }
 
-// ---------------------------------------------------------------------------
-// Per-file linting
-// ---------------------------------------------------------------------------
-
-/// Lint one source file given its crate name and workspace-relative path.
-///
-/// This is the whole engine; [`lint_workspace`] just walks directories and
-/// feeds files through here. Exposed so fixture tests can drive it directly.
-pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -> Report {
-    let (code_text, comment_text) = scrub(src);
-    let scrubbed_lines: Vec<&str> = code_text.lines().collect();
-    let comment_lines: Vec<&str> = comment_text.lines().collect();
-    let in_test = mark_test_regions(&scrubbed_lines);
-    let lines: Vec<Line> = (0..src.lines().count())
-        .map(|i| Line {
-            code: scrubbed_lines.get(i).copied().unwrap_or("").to_string(),
-            comment: comment_lines.get(i).copied().unwrap_or("").to_string(),
-            in_test: in_test.get(i).copied().unwrap_or(false),
-        })
-        .collect();
-
-    let mut report = Report::default();
-
-    // Waiver table: line index -> waived rules (with reasons). A waiver on a
-    // comment-only line forwards to the next line that has code.
-    let mut waived: Vec<Vec<(Rule, String)>> = vec![Vec::new(); lines.len()];
-    for (i, line) in lines.iter().enumerate() {
-        for w in parse_waivers(&line.comment) {
-            let Some(rule) = w.rule else {
-                report.violations.push(Violation {
-                    rule: Rule::Waiver,
-                    file: rel_path.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "malformed waiver: `allow({})` names no known rule \
-                         (use a rule name like `no-panic` or an ID like `KDD001`)",
-                        w.rule_text
-                    ),
-                });
-                continue;
-            };
-            let Some(reason) = w.reason else {
-                report.violations.push(Violation {
-                    rule: Rule::Waiver,
-                    file: rel_path.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "waiver for {} carries no reason: write \
-                         `kdd-lint: allow({}) -- <why this is sound>`",
-                        rule.code(),
-                        rule.name()
-                    ),
-                });
-                continue;
-            };
-            // Same line if it has code, else the next code-bearing line.
-            let mut target = i;
-            if line.code.trim().is_empty() {
-                for (j, l) in lines.iter().enumerate().skip(i + 1) {
-                    if !l.code.trim().is_empty() {
-                        target = j;
-                        break;
-                    }
-                }
-            }
-            if let Some(slot) = waived.get_mut(target) {
-                slot.push((rule, reason));
+/// Index of the `;` ending the statement starting at token `from`.
+fn statement_end(toks: &[lex::Tok], from: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = from;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => return j,
+                _ => {}
             }
         }
+        j += 1;
+    }
+    toks.len()
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lint state
+// ---------------------------------------------------------------------------
+
+/// Waiver tables and analysis for one file; every emission routes through
+/// [`FileLint::emit`] so line- and file-scope waivers apply uniformly.
+struct FileLint<'a> {
+    fa: &'a FileAnalysis,
+    /// Line index → waived rules with reasons.
+    waived: Vec<Vec<(Rule, String)>>,
+    /// File-scope waivers.
+    file_waived: Vec<(Rule, String)>,
+}
+
+impl<'a> FileLint<'a> {
+    /// Build the waiver tables, reporting malformed waivers into `report`.
+    fn new(fa: &'a FileAnalysis, report: &mut Report) -> FileLint<'a> {
+        let n = fa.code.len();
+        let mut waived: Vec<Vec<(Rule, String)>> = vec![Vec::new(); n];
+        let mut file_waived: Vec<(Rule, String)> = Vec::new();
+        for i in 0..n {
+            for w in parse_waivers(&fa.comment[i]) {
+                let Some(rule) = w.rule else {
+                    report.violations.push(Violation {
+                        rule: Rule::Waiver,
+                        file: fa.rel.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "malformed waiver: `allow({})` names no known rule \
+                             (use a rule name like `no-panic` or an ID like `KDD001`)",
+                            w.rule_text
+                        ),
+                    });
+                    continue;
+                };
+                let Some(reason) = w.reason else {
+                    report.violations.push(Violation {
+                        rule: Rule::Waiver,
+                        file: fa.rel.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "waiver for {} carries no reason: write \
+                             `kdd-lint: allow({}) -- <why this is sound>`",
+                            rule.code(),
+                            rule.name()
+                        ),
+                    });
+                    continue;
+                };
+                if w.file_scope {
+                    file_waived.push((rule, reason));
+                    continue;
+                }
+                // Same line if it has code, else the next code-bearing line.
+                let mut target = i;
+                if fa.code[i].trim().is_empty() {
+                    for (j, l) in fa.code.iter().enumerate().skip(i + 1) {
+                        if !l.trim().is_empty() {
+                            target = j;
+                            break;
+                        }
+                    }
+                }
+                if let Some(slot) = waived.get_mut(target) {
+                    slot.push((rule, reason));
+                }
+            }
+        }
+        // The workspace's audited clippy allow header doubles as a KDD005
+        // file waiver: the audit note is the comment directly above it.
+        for (i, code) in fa.code.iter().enumerate() {
+            if code.contains("#![allow(") && code.contains("indexing_slicing") {
+                let mut note = Vec::new();
+                for j in (i.saturating_sub(4)..i).rev() {
+                    let c = fa.comment[j].trim();
+                    let stripped = c.trim_start_matches('/').trim_start_matches('!').trim();
+                    if stripped.is_empty() {
+                        break;
+                    }
+                    note.push(stripped.to_string());
+                }
+                if !note.is_empty() {
+                    note.reverse();
+                    file_waived.push((Rule::IndexingSlicing, note.join(" ")));
+                }
+            }
+        }
+        FileLint { fa, waived, file_waived }
     }
 
-    let emit = |report: &mut Report, rule: Rule, line_idx: usize, message: String| {
+    /// Record a violation at 0-based `line_idx`, honouring waivers.
+    fn emit(&self, report: &mut Report, rule: Rule, line_idx: usize, message: String) {
         if let Some((_, reason)) =
-            waived.get(line_idx).and_then(|ws| ws.iter().find(|(r, _)| *r == rule))
+            self.waived.get(line_idx).and_then(|ws| ws.iter().find(|(r, _)| *r == rule))
         {
             report.waivers.push(WaiverUse {
                 rule,
-                file: rel_path.to_string(),
+                file: self.fa.rel.clone(),
                 line: line_idx + 1,
                 reason: reason.clone(),
             });
-        } else {
-            report.violations.push(Violation {
-                rule,
-                file: rel_path.to_string(),
-                line: line_idx + 1,
-                message,
-            });
+            return;
         }
-    };
+        if let Some((_, reason)) = self.file_waived.iter().find(|(r, _)| *r == rule) {
+            // One waiver-use entry per (file, rule) keeps the listing short.
+            let already = report.waivers.iter().any(|w| w.rule == rule && w.file == self.fa.rel);
+            if !already {
+                report.waivers.push(WaiverUse {
+                    rule,
+                    file: self.fa.rel.clone(),
+                    line: line_idx + 1,
+                    reason: reason.clone(),
+                });
+            }
+            return;
+        }
+        report.violations.push(Violation {
+            rule,
+            file: self.fa.rel.clone(),
+            line: line_idx + 1,
+            message,
+        });
+    }
+}
 
+// ---------------------------------------------------------------------------
+// Rule passes
+// ---------------------------------------------------------------------------
+
+/// Line rules: the KDD001–KDD007 family over the rendered code view.
+fn run_line_rules(fl: &FileLint<'_>, opts: Options, report: &mut Report) {
+    let fa = fl.fa;
+    let crate_name = fa.krate.as_str();
     let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
     let layering_restricted = LAYERING_RESTRICTED_CRATES.contains(&crate_name);
     let determinism_checked = !NONDETERMINISM_ALLOWED_CRATES.contains(&crate_name);
-    let hot_alloc_checked = HOT_ALLOC_FILES.iter().any(|f| rel_path.ends_with(f));
+    let hot_alloc_checked = HOT_ALLOC_FILES.iter().any(|f| fa.rel.ends_with(f));
     // KDD007 governs the obs crate itself plus any file that registers
     // metrics, wherever it lives — even in crates otherwise allowed to
     // read ambient state (`bench`, `cli`).
-    let obs_checked = rel_path.contains("crates/obs/")
-        || lines
-            .iter()
-            .any(|l| !l.in_test && OBS_REGISTER_TOKENS.iter().any(|t| l.code.contains(t)));
+    let obs_checked = fa.rel.contains("crates/obs/")
+        || fa.code.iter().enumerate().any(|(i, code)| {
+            !fa.in_test[i] && OBS_REGISTER_TOKENS.iter().any(|t| code.contains(t))
+        });
 
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || line.code.trim().is_empty() {
+    for (i, code) in fa.code.iter().enumerate() {
+        if fa.in_test[i] || code.trim().is_empty() {
             continue;
         }
         if panic_free {
             for tok in PANIC_TOKENS {
-                if find_ident_token(&line.code, tok).is_some() {
-                    emit(
-                        &mut report,
+                if find_ident_token(code, tok).is_some() {
+                    fl.emit(
+                        report,
                         Rule::NoPanic,
                         i,
                         format!(
@@ -683,23 +764,24 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
                     );
                 }
             }
-            if opts.pedantic && has_index_expr(&line.code) {
-                emit(
-                    &mut report,
+            if opts.pedantic && has_index_expr(code) {
+                fl.emit(
+                    report,
                     Rule::IndexingSlicing,
                     i,
                     format!(
                         "unchecked slice index in panic-free crate `{crate_name}`: \
-                         use `.get()`/`.get_mut()` or prove bounds with a slice pattern"
+                         use `.get()`/`.get_mut()`, prove bounds with a slice pattern, \
+                         or carry the audited `#![allow(clippy::indexing_slicing)]` header"
                     ),
                 );
             }
         }
         if layering_restricted {
             for tok in RAW_WRITE_TOKENS {
-                if line.code.contains(tok) {
-                    emit(
-                        &mut report,
+                if code.contains(tok) {
+                    fl.emit(
+                        report,
                         Rule::Layering,
                         i,
                         format!(
@@ -715,9 +797,9 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
         }
         if hot_alloc_checked {
             for tok in HOT_ALLOC_TOKENS {
-                if line.code.contains(tok) {
-                    emit(
-                        &mut report,
+                if code.contains(tok) {
+                    fl.emit(
+                        report,
                         Rule::HotAlloc,
                         i,
                         format!(
@@ -731,9 +813,9 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
         }
         if determinism_checked {
             for tok in NONDETERMINISM_TOKENS {
-                if find_ident_token(&line.code, tok).is_some() {
-                    emit(
-                        &mut report,
+                if find_ident_token(code, tok).is_some() {
+                    fl.emit(
+                        report,
                         Rule::Determinism,
                         i,
                         format!(
@@ -744,9 +826,9 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
                     break; // one wall-clock finding per line is enough
                 }
             }
-            if let Some(ident) = default_hasher_use(&line.code) {
-                emit(
-                    &mut report,
+            if let Some(ident) = default_hasher_use(code) {
+                fl.emit(
+                    report,
                     Rule::Determinism,
                     i,
                     format!(
@@ -759,9 +841,9 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
         }
         if obs_checked {
             for tok in OBS_WALLCLOCK_TOKENS {
-                if find_ident_token(&line.code, tok).is_some() {
-                    emit(
-                        &mut report,
+                if find_ident_token(code, tok).is_some() {
+                    fl.emit(
+                        report,
                         Rule::ObsDeterminism,
                         i,
                         format!(
@@ -774,9 +856,9 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
                 }
             }
             for tok in OBS_FLOAT_HAZARD_TOKENS {
-                if line.code.contains(tok) {
-                    emit(
-                        &mut report,
+                if code.contains(tok) {
+                    fl.emit(
+                        report,
                         Rule::ObsDeterminism,
                         i,
                         format!(
@@ -793,14 +875,14 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
     // KDD004: every module calling `write_no_parity_update` must also repair
     // or register stale parity (the defining crate `raid` is exempt).
     if crate_name != "raid" {
-        let repairs = lines
-            .iter()
-            .any(|l| !l.in_test && STALE_REPAIR_TOKENS.iter().any(|t| l.code.contains(t)));
+        let repairs = fa.code.iter().enumerate().any(|(i, code)| {
+            !fa.in_test[i] && STALE_REPAIR_TOKENS.iter().any(|t| code.contains(t))
+        });
         if !repairs {
-            for (i, line) in lines.iter().enumerate() {
-                if !line.in_test && line.code.contains(".write_no_parity_update(") {
-                    emit(
-                        &mut report,
+            for (i, code) in fa.code.iter().enumerate() {
+                if !fa.in_test[i] && code.contains(".write_no_parity_update(") {
+                    fl.emit(
+                        report,
                         Rule::StaleParity,
                         i,
                         "`write_no_parity_update` leaves stale parity, but this module \
@@ -812,7 +894,503 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -
             }
         }
     }
+}
 
+/// Token rules: `KDD008` (concurrency readiness) and `KDD010` (counter
+/// arithmetic) over the real token stream.
+fn run_token_rules(fl: &FileLint<'_>, report: &mut Report) {
+    let fa = fl.fa;
+    let toks = &fa.lexed.toks;
+    let concurrency = CONCURRENCY_READY_CRATES.contains(&fa.krate.as_str());
+    let counters = COUNTER_CRATES.contains(&fa.krate.as_str());
+    if !concurrency && !counters {
+        return;
+    }
+    // Per-line "has checked/saturating arithmetic" marker for KDD010.
+    let mut line_checked: BTreeSet<usize> = BTreeSet::new();
+    for t in toks {
+        if t.kind == TokKind::Ident
+            && (t.text.starts_with("checked_") || t.text.starts_with("saturating_"))
+        {
+            line_checked.insert(t.line);
+        }
+    }
+    for (k, t) in toks.iter().enumerate() {
+        let line_idx = t.line.saturating_sub(1);
+        if fa.in_test.get(line_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        if concurrency && t.kind == TokKind::Ident {
+            let is_punct = |i: usize, p: &str| {
+                toks.get(i).is_some_and(|x| x.kind == TokKind::Punct && x.text == p)
+            };
+            let is_ident = |i: usize, p: &str| {
+                toks.get(i).is_some_and(|x| x.kind == TokKind::Ident && x.text == p)
+            };
+            if SEND_HOSTILE_IDENTS.contains(&t.text.as_str()) {
+                fl.emit(
+                    report,
+                    Rule::ConcurrencyReadiness,
+                    line_idx,
+                    format!(
+                        "`{}` is single-thread-only state in shard-ready crate `{}`: \
+                         the sharded engine runs this crate N-way — use owned state, \
+                         `Arc`, or atomics",
+                        t.text, fa.krate
+                    ),
+                );
+            } else if t.text == "static" && is_ident(k + 1, "mut") {
+                fl.emit(
+                    report,
+                    Rule::ConcurrencyReadiness,
+                    line_idx,
+                    format!(
+                        "`static mut` in shard-ready crate `{}`: global mutable state \
+                         cannot be sharded — thread it through the engine instead",
+                        fa.krate
+                    ),
+                );
+            } else if t.text == "thread_local" && is_punct(k + 1, "!") {
+                fl.emit(
+                    report,
+                    Rule::ConcurrencyReadiness,
+                    line_idx,
+                    format!(
+                        "`thread_local!` in shard-ready crate `{}`: per-thread state \
+                         breaks shard migration and deterministic replay",
+                        fa.krate
+                    ),
+                );
+            }
+        }
+        if concurrency
+            && t.kind == TokKind::Punct
+            && t.text == "*"
+            && toks.get(k + 1).is_some_and(|x| x.kind == TokKind::Ident && x.text == "mut")
+        {
+            fl.emit(
+                report,
+                Rule::ConcurrencyReadiness,
+                line_idx,
+                format!(
+                    "raw `*mut` state in shard-ready crate `{}`: raw pointers carry \
+                     no ownership story across shards — use owned buffers or indices",
+                    fa.krate
+                ),
+            );
+        }
+        if counters && t.kind == TokKind::Ident {
+            let lower = t.text.to_ascii_lowercase();
+            if !COUNTER_NAME_HINTS.iter().any(|h| lower.contains(h)) {
+                continue;
+            }
+            // Narrowing cast: `counter [()…] as <narrow>`.
+            let mut j = k + 1;
+            while toks
+                .get(j)
+                .is_some_and(|x| x.kind == TokKind::Punct && (x.text == ")" || x.text == "("))
+            {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|x| x.kind == TokKind::Ident && x.text == "as") {
+                if let Some(ty) =
+                    toks.get(j + 1).filter(|x| NARROWING_CAST_TARGETS.contains(&x.text.as_str()))
+                {
+                    fl.emit(
+                        report,
+                        Rule::CounterArithmetic,
+                        line_idx,
+                        format!(
+                            "narrowing cast `as {}` on endurance counter `{}`: \
+                             compressed-wear campaigns overflow narrow types — keep \
+                             counters in `u64` (or waive with a measured bound)",
+                            ty.text, t.text
+                        ),
+                    );
+                }
+            }
+            if line_checked.contains(&t.line) {
+                continue;
+            }
+            // Unchecked accumulation *into* the counter: `counter += …` or
+            // `counter = counter + …`. A counter merely read inside a sum
+            // (`total + c`, `rate * c`) cannot overflow the counter itself.
+            let compound =
+                toks.get(k + 1).is_some_and(|x| x.kind == TokKind::Punct && x.text == "+=");
+            let self_assign =
+                toks.get(k + 1).is_some_and(|x| x.kind == TokKind::Punct && x.text == "+") && {
+                    // Walk back over `recv.` qualifiers to the `=`, then
+                    // require the assignment target to be the same counter.
+                    let mut p = k;
+                    while p >= 2
+                        && toks[p - 1].kind == TokKind::Punct
+                        && toks[p - 1].text == "."
+                        && toks[p - 2].kind == TokKind::Ident
+                    {
+                        p -= 2;
+                    }
+                    p >= 2
+                        && toks[p - 1].kind == TokKind::Punct
+                        && toks[p - 1].text == "="
+                        && toks[p - 2].kind == TokKind::Ident
+                        && toks[p - 2].text == t.text
+                };
+            if compound || self_assign {
+                fl.emit(
+                    report,
+                    Rule::CounterArithmetic,
+                    line_idx,
+                    format!(
+                        "unchecked `+` accumulation on endurance counter `{}`: years \
+                         of compressed wear overflow silently in release builds — use \
+                         `checked_add`/`saturating_add` or waive with a reason",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Symbol rules over the call graph: `KDD009` (error discard) and the
+/// indirect half of `KDD002` (layering by reachability).
+fn run_graph_rules(
+    fl: &FileLint<'_>,
+    graph: &CallGraph,
+    reach: &[Option<String>],
+    report: &mut Report,
+) {
+    let fa = fl.fa;
+    let toks = &fa.lexed.toks;
+    let in_test = |line: usize| fa.in_test.get(line.saturating_sub(1)).copied().unwrap_or(false);
+
+    // Enclosing graph node for a source line, by fn span.
+    let node_for_line = |line: usize| {
+        graph
+            .nodes_in_file(&fa.rel)
+            .find(|&i| graph.nodes[i].line <= line && line <= graph.nodes[i].end_line)
+    };
+
+    // A call name inside a discard statement: is it a fallible I/O API?
+    let fallible_api = |name: &str, line: usize| -> Option<String> {
+        if STD_FALLIBLE_FNS.contains(&name) {
+            return Some(format!("std::fs::{name}"));
+        }
+        let node = node_for_line(line)?;
+        let site = graph.nodes[node].calls.iter().find(|c| c.line == line && c.name == name)?;
+        graph.resolves_fallible(node, site, FALLIBLE_API_CRATES)
+    };
+
+    // `let _ = …;` statements.
+    for k in 0..toks.len() {
+        let is_ident = |i: usize, s: &str| {
+            toks.get(i).is_some_and(|x| x.kind == TokKind::Ident && x.text == s)
+        };
+        let is_punct = |i: usize, s: &str| {
+            toks.get(i).is_some_and(|x| x.kind == TokKind::Punct && x.text == s)
+        };
+        if is_ident(k, "let") && is_ident(k + 1, "_") && is_punct(k + 2, "=") {
+            let stmt_line = toks[k].line;
+            if in_test(stmt_line) {
+                continue;
+            }
+            let end = statement_end(toks, k + 3);
+            let mut j = k + 3;
+            while j < end {
+                let t = &toks[j];
+                if t.kind == TokKind::Ident
+                    && is_punct(j + 1, "(")
+                    && !is_ident(j.wrapping_sub(1), "fn")
+                {
+                    if let Some(api) = fallible_api(&t.text, t.line) {
+                        fl.emit(
+                            report,
+                            Rule::ErrorDiscard,
+                            stmt_line - 1,
+                            format!(
+                                "`let _ =` discards the `Result` of `{api}` on an I/O \
+                                 path: propagate with `?`, handle it, or log the error \
+                                 before dropping it"
+                            ),
+                        );
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // `….ok();` — the Result is thrown away wholesale.
+        if is_punct(k, ".")
+            && is_ident(k + 1, "ok")
+            && is_punct(k + 2, "(")
+            && is_punct(k + 3, ")")
+            && is_punct(k + 4, ";")
+        {
+            let line = toks[k + 1].line;
+            if in_test(line) {
+                continue;
+            }
+            // Walk back over the receiver call's `(...)`.
+            if k == 0 || !is_punct(k - 1, ")") {
+                continue;
+            }
+            let mut depth: i64 = 0;
+            let mut p = k - 1;
+            loop {
+                if toks[p].kind == TokKind::Punct {
+                    match toks[p].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if p == 0 {
+                    break;
+                }
+                p -= 1;
+            }
+            if p == 0 {
+                continue;
+            }
+            let name_tok = &toks[p - 1];
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            if let Some(api) = fallible_api(&name_tok.text, name_tok.line) {
+                fl.emit(
+                    report,
+                    Rule::ErrorDiscard,
+                    line - 1,
+                    format!(
+                        "`.ok()` silently swallows the `Result` of `{api}` on an I/O \
+                         path: handle the error or log it on the failure path"
+                    ),
+                );
+            }
+        }
+    }
+
+    // KDD002 (indirect): restricted layers must not *reach* a raw substrate
+    // write through any resolved call chain that bypasses the engine.
+    if LAYERING_RESTRICTED_CRATES.contains(&fa.krate.as_str()) {
+        for i in graph.nodes_in_file(&fa.rel) {
+            if graph.nodes[i].in_test {
+                continue;
+            }
+            for site in &graph.nodes[i].calls {
+                if in_test(site.line) {
+                    continue;
+                }
+                for j in graph.resolve(i, site) {
+                    if SANCTIONED_CRATES.contains(&graph.nodes[j].krate.as_str()) {
+                        continue;
+                    }
+                    if let Some(chain) = &reach[j] {
+                        fl.emit(
+                            report,
+                            Rule::Layering,
+                            site.line - 1,
+                            format!(
+                                "call into `{}` from layer `{}` reaches a raw \
+                                 device/array write without passing through the \
+                                 engine: {chain}",
+                                graph.nodes[j].qual_name(),
+                                fa.krate
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KDD011: obs schema drift
+// ---------------------------------------------------------------------------
+
+/// A metric name registered in code, with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisteredName {
+    /// Metric key, e.g. `ssd.erases`.
+    pub name: String,
+    /// Registering file.
+    pub file: String,
+    /// 1-based line of the registration call.
+    pub line: usize,
+}
+
+/// Everything the token stream says the observability layer exports.
+#[derive(Debug, Default)]
+pub struct ObsNames {
+    /// `register_counter` names.
+    pub counters: Vec<RegisteredName>,
+    /// `register_gauge` names.
+    pub gauges: Vec<RegisteredName>,
+    /// `register_hist` names.
+    pub hists: Vec<RegisteredName>,
+    /// Span classes declared by `as_str` in `crates/obs`.
+    pub span_classes: Vec<String>,
+}
+
+impl ObsNames {
+    /// The registration list for a totals table name.
+    fn table(&self, table: &str) -> &[RegisteredName] {
+        match table {
+            "counters" => &self.counters,
+            "gauges" => &self.gauges,
+            _ => &self.hists,
+        }
+    }
+}
+
+/// Extract registered metric names and declared span classes from one
+/// analysed file, appending into `names`.
+fn collect_obs_names(fa: &FileAnalysis, af: &AnalyzedFile, names: &mut ObsNames) {
+    let toks = &fa.lexed.toks;
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some((_, table)) = OBS_REGISTER_METHODS.iter().find(|(m, _)| *m == t.text) else {
+            continue;
+        };
+        if fa.in_test.get(t.line.saturating_sub(1)).copied().unwrap_or(false) {
+            continue;
+        }
+        let is_open = toks.get(k + 1).is_some_and(|x| x.kind == TokKind::Punct && x.text == "(");
+        let Some(arg) = toks.get(k + 2).filter(|x| x.kind == TokKind::Str && is_open) else {
+            continue;
+        };
+        let rec = RegisteredName { name: arg.text.clone(), file: fa.rel.clone(), line: t.line };
+        match *table {
+            "counters" => names.counters.push(rec),
+            "gauges" => names.gauges.push(rec),
+            _ => names.hists.push(rec),
+        }
+    }
+    // Span classes: string literals inside `fn as_str` bodies in crates/obs.
+    if fa.rel.contains("crates/obs/") {
+        for f in &af.items.fns {
+            if f.name != "as_str" {
+                continue;
+            }
+            let (start, end) = f.body;
+            for t in toks.get(start..end.min(toks.len())).unwrap_or(&[]) {
+                if t.kind == TokKind::Str && !t.text.is_empty() {
+                    names.span_classes.push(t.text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Cross-check registered names against the committed `kdd-obs/v1`
+/// snapshot document (`OBS_engine.json`). Exposed for fixture tests.
+pub fn check_obs_schema(names: &ObsNames, doc: &Json, doc_path: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for problem in kdd_obs::validate_snapshot(doc) {
+        out.push(Violation {
+            rule: Rule::ObsSchema,
+            file: doc_path.to_string(),
+            line: 1,
+            message: format!("committed snapshot fails kdd-obs/v1 validation: {problem}"),
+        });
+    }
+    for table in ["counters", "gauges", "hists"] {
+        let doc_keys: BTreeSet<&str> = doc
+            .get("totals")
+            .and_then(|t| t.get(table))
+            .and_then(|j| match j {
+                Json::Obj(m) => Some(m.keys().map(String::as_str).collect()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let registered = names.table(table);
+        for r in registered {
+            if !doc_keys.contains(r.name.as_str()) {
+                out.push(Violation {
+                    rule: Rule::ObsSchema,
+                    file: r.file.clone(),
+                    line: r.line,
+                    message: format!(
+                        "metric `{}` is registered here but missing from {doc_path} \
+                         totals.{table}: regenerate the committed snapshot \
+                         (`perfbench`) or remove the registration",
+                        r.name
+                    ),
+                });
+            }
+        }
+        let reg_set: BTreeSet<&str> = registered.iter().map(|r| r.name.as_str()).collect();
+        for key in doc_keys {
+            if !reg_set.contains(key) {
+                out.push(Violation {
+                    rule: Rule::ObsSchema,
+                    file: doc_path.to_string(),
+                    line: 1,
+                    message: format!(
+                        "metric `{key}` appears in {doc_path} totals.{table} but no \
+                         non-test code registers it: stale export — regenerate the \
+                         snapshot or restore the metric"
+                    ),
+                });
+            }
+        }
+    }
+    // Exported span classes must be declared (the reverse is fine: not
+    // every class occurs in every run).
+    if !names.span_classes.is_empty() {
+        let declared: BTreeSet<&str> = names.span_classes.iter().map(String::as_str).collect();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        if let Some(events) = doc.get("spans").and_then(|s| s.get("events")).and_then(Json::as_arr)
+        {
+            for ev in events {
+                if let Some(class) = ev.get("class").and_then(Json::as_str) {
+                    if !declared.contains(class) && seen.insert(class.to_string()) {
+                        out.push(Violation {
+                            rule: Rule::ObsSchema,
+                            file: doc_path.to_string(),
+                            line: 1,
+                            message: format!(
+                                "span class `{class}` is exported in {doc_path} but \
+                                 not declared by any `as_str` in crates/obs"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Lint one source file given its crate name and workspace-relative path.
+///
+/// Runs the full pipeline — lexer, item extraction, a single-file call
+/// graph — so fixtures exercise exactly the code the workspace walk runs.
+/// Cross-file resolution (e.g. `KddEngine::flush` from `cli`) and the
+/// `KDD011` snapshot cross-check only happen under [`lint_workspace`].
+pub fn lint_source(crate_name: &str, rel_path: &str, src: &str, opts: Options) -> Report {
+    let (fa, af) = analyse(crate_name, rel_path, src);
+    let graph = CallGraph::build(std::slice::from_ref(&af));
+    let reach = graph.raw_reachability();
+    let mut report = Report::default();
+    let fl = FileLint::new(&fa, &mut report);
+    run_line_rules(&fl, opts, &mut report);
+    run_token_rules(&fl, &mut report);
+    run_graph_rules(&fl, &graph, &reach, &mut report);
+    sort_dedup(&mut report);
     report
 }
 
@@ -846,6 +1424,8 @@ pub fn lint_workspace(root: &Path, opts: Options) -> std::io::Result<Report> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
+    let mut fas: Vec<FileAnalysis> = Vec::new();
+    let mut afs: Vec<AnalyzedFile> = Vec::new();
     for crate_dir in crate_dirs {
         let crate_name = crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
         if crate_name == "xtask" {
@@ -864,13 +1444,50 @@ pub fn lint_workspace(root: &Path, opts: Options) -> std::io::Result<Report> {
         for file in files {
             let content = std::fs::read_to_string(&file)?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
-            let sub = lint_source(&crate_name, &rel, &content, opts);
-            report.violations.extend(sub.violations);
-            report.waivers.extend(sub.waivers);
+            let (fa, af) = analyse(&crate_name, &rel, &content);
+            fas.push(fa);
+            afs.push(af);
         }
     }
+    // Workspace graph over every analysed file.
+    let graph = CallGraph::build(&afs);
+    let reach = graph.raw_reachability();
+    let mut obs_names = ObsNames::default();
+    for (fa, af) in fas.iter().zip(&afs) {
+        let fl = FileLint::new(fa, &mut report);
+        run_line_rules(&fl, opts, &mut report);
+        run_token_rules(&fl, &mut report);
+        run_graph_rules(&fl, &graph, &reach, &mut report);
+        collect_obs_names(fa, af, &mut obs_names);
+    }
+    // KDD011: the committed snapshot must agree with the code.
+    let obs_doc_path = "OBS_engine.json";
+    match std::fs::read_to_string(root.join(obs_doc_path)) {
+        Ok(text) => match json::parse(&text) {
+            Ok(doc) => report.violations.extend(check_obs_schema(&obs_names, &doc, obs_doc_path)),
+            Err(e) => report.violations.push(Violation {
+                rule: Rule::ObsSchema,
+                file: obs_doc_path.to_string(),
+                line: 1,
+                message: format!("committed snapshot does not parse: {e}"),
+            }),
+        },
+        Err(e) => report.violations.push(Violation {
+            rule: Rule::ObsSchema,
+            file: obs_doc_path.to_string(),
+            line: 1,
+            message: format!("committed snapshot missing ({e}): run perfbench to regenerate it"),
+        }),
+    }
+    sort_dedup(&mut report);
+    Ok(report)
+}
+
+/// Sort violations by file/line/rule and drop duplicate findings (the
+/// direct and reachability halves of `KDD002` can land on one line).
+fn sort_dedup(report: &mut Report) {
     report
         .violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(report)
+    report.violations.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
 }

@@ -10,6 +10,7 @@ xtask — KDD workspace automation
 
 USAGE:
     cargo run -p xtask -- lint [--root <path>] [--pedantic] [--quiet]
+                               [--json | --github]
 
 COMMANDS:
     lint    Run kdd-lint over every crate's src/ tree. Exits 1 on any
@@ -20,7 +21,18 @@ OPTIONS:
     --root <path>   Workspace root (default: nearest ancestor with Cargo.toml)
     --pedantic      Also run KDD005 (unchecked slice indexing)
     --quiet         Suppress the honoured-waiver listing
+    --json          Emit the kdd-lint/v1 machine-readable report on stdout
+    --github        Emit findings in the problem-matcher format CI turns
+                    into GitHub annotations (kdd-lint[RULE] file:line: msg)
 ";
+
+/// Output mode for the findings listing.
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn find_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
     if let Some(r) = explicit {
@@ -51,10 +63,13 @@ fn main() -> ExitCode {
     let mut opts = Options::default();
     let mut root = None;
     let mut quiet = false;
+    let mut format = Format::Text;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--pedantic" => opts.pedantic = true,
             "--quiet" => quiet = true,
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -82,6 +97,12 @@ fn main() -> ExitCode {
         }
     };
 
+    if format == Format::Json {
+        // Machine-readable mode: the report alone on stdout, same exit code.
+        println!("{}", report.render_json());
+        return if report.violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     if !quiet && !report.waivers.is_empty() {
         eprintln!("kdd-lint: {} waiver(s) in effect:", report.waivers.len());
         for w in &report.waivers {
@@ -94,7 +115,15 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         for v in &report.violations {
-            println!("{v}");
+            match format {
+                // One line per finding in the shape the committed
+                // problem matcher (.github/kdd-lint-problem-matcher.json)
+                // parses into file-anchored GitHub annotations.
+                Format::Github => {
+                    println!("kdd-lint[{}] {}:{}: {}", v.rule.code(), v.file, v.line, v.message)
+                }
+                _ => println!("{v}"),
+            }
         }
         eprintln!("kdd-lint: {} violation(s)", report.violations.len());
         ExitCode::FAILURE

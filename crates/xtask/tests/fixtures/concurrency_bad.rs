@@ -1,0 +1,19 @@
+//! KDD008 fail fixture: every `Send`-hostile construct, pinned by line.
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+pub static mut GLOBAL_EPOCH: u64 = 0;
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+
+pub struct ShardState {
+    peers: Rc<Vec<u32>>,
+    dirty: Cell<bool>,
+    scratch: *mut u8,
+}
+
+pub fn touch(s: &ShardState) -> bool {
+    s.dirty.get() && !s.peers.is_empty() && !s.scratch.is_null()
+}

@@ -1,0 +1,25 @@
+//! KDD010 fail fixture: unchecked accumulation and narrowing casts on
+//! endurance counters, pinned by line.
+pub struct Wear {
+    erase_count: u64,
+    waf_milli: u64,
+    stale_rows: u64,
+}
+
+impl Wear {
+    pub fn on_erase(&mut self) {
+        self.erase_count += 1;
+    }
+    pub fn on_write(&mut self, amplified: u64) {
+        self.waf_milli = self.waf_milli + amplified;
+    }
+    pub fn export_erases(&self) -> u32 {
+        self.erase_count as u32
+    }
+    pub fn export_waf(&self) -> f32 {
+        self.waf_milli as f32
+    }
+    pub fn note_stale(&mut self, stale_row_count: u32) {
+        self.stale_rows += u64::from(stale_row_count);
+    }
+}

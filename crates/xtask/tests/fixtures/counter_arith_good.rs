@@ -1,0 +1,28 @@
+//! KDD010 pass fixture: checked/saturating accumulation, widening casts,
+//! read-only sums, a reasoned waiver, and non-counter arithmetic.
+pub struct Wear {
+    erase_count: u64,
+    waf_milli: u64,
+}
+
+impl Wear {
+    pub fn on_erase(&mut self) {
+        self.erase_count = self.erase_count.saturating_add(1);
+    }
+    pub fn on_write(&mut self, amplified: u64) {
+        self.waf_milli = self.waf_milli.checked_add(amplified).unwrap_or(u64::MAX);
+    }
+    pub fn export(&self) -> u64 {
+        self.erase_count as u64
+    }
+    pub fn total(&self, base: u64) -> u64 {
+        base + self.erase_count
+    }
+    pub fn phase_bump(&self, phase: u32) -> u32 {
+        phase + 1
+    }
+    pub fn compact(&self) -> u16 {
+        // kdd-lint: allow(counter-arithmetic) -- bounded by rated_pe_cycles (u16 max 65535)
+        self.erase_count as u16
+    }
+}

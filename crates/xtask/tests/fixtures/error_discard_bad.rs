@@ -1,0 +1,19 @@
+//! KDD009 fail fixture: discarded `Result`s from fallible I/O-path APIs,
+//! resolved through the call graph (typed receiver) and the std list.
+pub struct Engine;
+
+impl Engine {
+    pub fn flush(&mut self) -> Result<u64, String> {
+        Ok(0)
+    }
+    pub fn sync(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub fn drive() {
+    let mut engine = Engine::default();
+    let _ = engine.flush();
+    engine.sync().ok();
+    std::fs::remove_dir_all("scratch").ok();
+}

@@ -1,0 +1,36 @@
+//! KDD009 pass fixture: handled, logged, waived, infallible, and
+//! test-region discards are all clean.
+pub struct Engine;
+
+impl Engine {
+    pub fn flush(&mut self) -> Result<u64, String> {
+        Ok(0)
+    }
+    pub fn queue_depth(&self) -> usize {
+        0
+    }
+}
+
+pub fn drive() -> Result<(), String> {
+    let mut engine = Engine::default();
+    let flushed = engine.flush().map_err(|e| format!("flush: {e}"))?;
+    let _ = engine.queue_depth();
+    // kdd-lint: allow(error-discard) -- best-effort cleanup on the abort path
+    std::fs::remove_dir_all("scratch").ok();
+    if let Err(e) = std::fs::remove_file("scratch.lock") {
+        eprintln!("cleanup failed: {e}");
+    }
+    let _ = flushed;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Engine;
+
+    #[test]
+    fn tests_may_discard() {
+        let mut e = Engine;
+        let _ = e.flush();
+    }
+}

@@ -1,0 +1,13 @@
+//! KDD002 (indirect) fail fixture: the public entry point never names a
+//! raw write, but reaches one through two resolved call edges.
+pub fn scrub_disk(a: &mut RaidArray) {
+    wipe_rows(a);
+}
+
+fn wipe_rows(a: &mut RaidArray) {
+    wipe_one(a);
+}
+
+fn wipe_one(a: &mut RaidArray) {
+    a.write_page(0, &[0u8; 8]);
+}

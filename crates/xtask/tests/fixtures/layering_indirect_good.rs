@@ -1,0 +1,13 @@
+//! KDD002 (indirect) pass fixture: the same call shape, but the chain ends
+//! in engine-level APIs rather than a raw substrate write.
+pub fn scrub_disk(e: &mut KddEngine) {
+    wipe_rows(e);
+}
+
+fn wipe_rows(e: &mut KddEngine) {
+    wipe_one(e);
+}
+
+fn wipe_one(e: &mut KddEngine) {
+    e.write(0, &[0u8; 8]);
+}

@@ -257,6 +257,223 @@ fn obs_determinism_good_is_clean() {
 }
 
 #[test]
+fn concurrency_bad_pins_every_site() {
+    let got = findings("core", "concurrency_bad.rs", Options::default());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::ConcurrencyReadiness, 2),  // use Cell/RefCell
+            (Rule::ConcurrencyReadiness, 3),  // use Rc
+            (Rule::ConcurrencyReadiness, 5),  // static mut
+            (Rule::ConcurrencyReadiness, 7),  // thread_local!
+            (Rule::ConcurrencyReadiness, 8),  // RefCell inside the macro
+            (Rule::ConcurrencyReadiness, 12), // Rc field
+            (Rule::ConcurrencyReadiness, 13), // Cell field
+            (Rule::ConcurrencyReadiness, 14), // raw *mut field
+        ]
+    );
+    let src = fixture("concurrency_bad.rs");
+    let report = lint_source("core", "concurrency_bad.rs", &src, Options::default());
+    let first = report.violations.first().expect("has violations");
+    assert_eq!(first.rule.code(), "KDD008");
+    assert_eq!(first.rule.name(), "concurrency-readiness");
+    assert_eq!(format!("{first}").split(' ').next(), Some("concurrency_bad.rs:2:"));
+}
+
+#[test]
+fn concurrency_only_guards_shard_ready_crates() {
+    let src = fixture("concurrency_bad.rs");
+    for c in ["sim", "bench", "cli", "trace"] {
+        let report = lint_source(c, "concurrency_bad.rs", &src, Options::default());
+        assert_eq!(report.violations, vec![], "{c} is not shard-ready-gated");
+    }
+}
+
+#[test]
+fn concurrency_good_is_clean_and_honours_waiver() {
+    let src = fixture("concurrency_good.rs");
+    let report = lint_source("cache", "concurrency_good.rs", &src, Options::default());
+    assert_eq!(report.violations, vec![], "Arc/atomics + test-only RefCell are clean");
+    assert_eq!(report.waivers.len(), 1, "one waiver honoured");
+    let w = &report.waivers[0];
+    assert_eq!(w.rule, Rule::ConcurrencyReadiness);
+    assert_eq!(w.line, 13);
+    assert!(w.reason.contains("single-shard bring-up"));
+}
+
+#[test]
+fn error_discard_bad_pins_every_site() {
+    let got = findings("core", "error_discard_bad.rs", Options::default());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::ErrorDiscard, 16), // let _ = engine.flush()
+            (Rule::ErrorDiscard, 17), // engine.sync().ok()
+            (Rule::ErrorDiscard, 18), // std::fs::remove_dir_all(..).ok()
+        ]
+    );
+    let src = fixture("error_discard_bad.rs");
+    let report = lint_source("core", "error_discard_bad.rs", &src, Options::default());
+    let first = report.violations.first().expect("has violations");
+    assert_eq!(first.rule.code(), "KDD009");
+    assert_eq!(first.rule.name(), "error-discard");
+    assert!(
+        first.message.contains("Engine::flush"),
+        "message names the resolved API: {}",
+        first.message
+    );
+}
+
+#[test]
+fn error_discard_good_is_clean_and_honours_waiver() {
+    let src = fixture("error_discard_good.rs");
+    let report = lint_source("core", "error_discard_good.rs", &src, Options::default());
+    assert_eq!(report.violations, vec![], "handled/logged/waived discards are clean");
+    assert_eq!(report.waivers.len(), 1, "one waiver honoured");
+    assert_eq!(report.waivers[0].rule, Rule::ErrorDiscard);
+    assert!(report.waivers[0].reason.contains("best-effort cleanup"));
+}
+
+#[test]
+fn counter_arith_bad_pins_every_site() {
+    let got = findings("blockdev", "counter_arith_bad.rs", Options::default());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::CounterArithmetic, 11), // erase_count += 1
+            (Rule::CounterArithmetic, 14), // waf_milli = waf_milli + amplified
+            (Rule::CounterArithmetic, 17), // erase_count as u32
+            (Rule::CounterArithmetic, 20), // waf_milli as f32
+            (Rule::CounterArithmetic, 23), // stale_rows += ...
+        ]
+    );
+    let src = fixture("counter_arith_bad.rs");
+    let report = lint_source("blockdev", "counter_arith_bad.rs", &src, Options::default());
+    let first = report.violations.first().expect("has violations");
+    assert_eq!(first.rule.code(), "KDD010");
+    assert_eq!(first.rule.name(), "counter-arithmetic");
+}
+
+#[test]
+fn counter_arith_good_is_clean_and_honours_waiver() {
+    let src = fixture("counter_arith_good.rs");
+    let report = lint_source("blockdev", "counter_arith_good.rs", &src, Options::default());
+    assert_eq!(report.violations, vec![], "checked/saturating/widening forms are clean");
+    assert_eq!(report.waivers.len(), 1, "one waiver honoured");
+    assert_eq!(report.waivers[0].rule, Rule::CounterArithmetic);
+    assert!(report.waivers[0].reason.contains("rated_pe_cycles"));
+}
+
+#[test]
+fn counter_arith_only_guards_counter_crates() {
+    let src = fixture("counter_arith_bad.rs");
+    let report = lint_source("sim", "counter_arith_bad.rs", &src, Options::default());
+    assert_eq!(report.violations, vec![], "sim counters are simulation outputs");
+}
+
+#[test]
+fn layering_indirect_bad_pins_reachability_chain() {
+    let got = findings("sim", "layering_indirect_bad.rs", Options::default());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Layering, 4),  // scrub_disk -> wipe_rows (indirect)
+            (Rule::Layering, 8),  // wipe_rows -> wipe_one (indirect)
+            (Rule::Layering, 12), // a.write_page (direct)
+        ]
+    );
+    let src = fixture("layering_indirect_bad.rs");
+    let report = lint_source("sim", "layering_indirect_bad.rs", &src, Options::default());
+    let indirect = report.violations.iter().find(|v| v.line == 4).expect("indirect hit");
+    assert!(
+        indirect.message.contains("wipe_rows") && indirect.message.contains("write_page"),
+        "witness chain names the path: {}",
+        indirect.message
+    );
+}
+
+#[test]
+fn layering_indirect_good_engine_chain_is_clean() {
+    let got = findings("sim", "layering_indirect_good.rs", Options::default());
+    assert_eq!(got, vec![], "engine-API chains are sanctioned");
+}
+
+#[test]
+fn obs_schema_drift_is_flagged_both_directions() {
+    use xtask::{check_obs_schema, ObsNames, RegisteredName};
+    let doc_text = r#"{
+        "schema": "kdd-obs/v1",
+        "totals": {
+            "counters": {"cache.read_hits": 1},
+            "gauges": {},
+            "hists": {},
+            "derived": {}
+        },
+        "timeseries": [{"t": 0}],
+        "wear": {},
+        "spans": {"pushed": 1, "dropped": 0, "events": [{"class": "hit_clean"}]}
+    }"#;
+    let doc = kdd_obs::json::parse(doc_text).expect("doc parses");
+    let reg = |name: &str, line: usize| RegisteredName {
+        name: name.to_string(),
+        file: "crates/obs/src/recorder.rs".to_string(),
+        line,
+    };
+
+    // Case 1: registered in code but absent from the committed snapshot —
+    // pinned to the registration's file:line.
+    let mut names = ObsNames::default();
+    names.counters.push(reg("cache.read_hits", 80));
+    names.counters.push(reg("cache.phantom_hits", 81));
+    names.span_classes.push("hit_clean".to_string());
+    let found = check_obs_schema(&names, &doc, "OBS_engine.json");
+    assert_eq!(found.len(), 1, "exactly the drifted metric: {found:?}");
+    assert_eq!(found[0].rule.code(), "KDD011");
+    assert_eq!(found[0].rule.name(), "obs-schema");
+    assert_eq!(found[0].file, "crates/obs/src/recorder.rs");
+    assert_eq!(found[0].line, 81);
+    assert!(found[0].message.contains("cache.phantom_hits"));
+
+    // Case 2: exported in the snapshot but no longer registered anywhere.
+    let mut names = ObsNames::default();
+    names.span_classes.push("hit_clean".to_string());
+    let found = check_obs_schema(&names, &doc, "OBS_engine.json");
+    assert_eq!(found.len(), 1, "stale export flagged: {found:?}");
+    assert_eq!(found[0].rule, Rule::ObsSchema);
+    assert_eq!(found[0].file, "OBS_engine.json");
+    assert!(found[0].message.contains("cache.read_hits"));
+
+    // Case 3: an exported span class no `as_str` declares.
+    let mut names = ObsNames::default();
+    names.counters.push(reg("cache.read_hits", 80));
+    names.span_classes.push("hit_dirty".to_string());
+    let found = check_obs_schema(&names, &doc, "OBS_engine.json");
+    assert_eq!(found.len(), 1, "undeclared span class flagged: {found:?}");
+    assert!(found[0].message.contains("hit_clean"));
+
+    // Agreement in both directions is clean.
+    let mut names = ObsNames::default();
+    names.counters.push(reg("cache.read_hits", 80));
+    names.span_classes.push("hit_clean".to_string());
+    assert_eq!(check_obs_schema(&names, &doc, "OBS_engine.json"), vec![]);
+}
+
+#[test]
+fn json_report_is_stable_and_machine_readable() {
+    let src = fixture("error_discard_bad.rs");
+    let report = lint_source("core", "error_discard_bad.rs", &src, Options::default());
+    let rendered = report.render_json();
+    let doc = kdd_obs::json::parse(&rendered).expect("report JSON parses");
+    assert_eq!(doc.get("schema").and_then(kdd_obs::Json::as_str), Some("kdd-lint/v1"));
+    let violations = doc.get("violations").and_then(kdd_obs::Json::as_arr).expect("array");
+    assert_eq!(violations.len(), 3);
+    let first = &violations[0];
+    assert_eq!(first.get("rule").and_then(kdd_obs::Json::as_str), Some("KDD009"));
+    assert_eq!(first.get("file").and_then(kdd_obs::Json::as_str), Some("error_discard_bad.rs"));
+    assert_eq!(first.get("line").and_then(kdd_obs::Json::as_f64), Some(16.0));
+}
+
+#[test]
 fn rule_codes_are_stable() {
     for (rule, code, name) in [
         (Rule::Waiver, "KDD000", "waiver"),
@@ -267,6 +484,10 @@ fn rule_codes_are_stable() {
         (Rule::IndexingSlicing, "KDD005", "indexing-slicing"),
         (Rule::HotAlloc, "KDD006", "hot-alloc"),
         (Rule::ObsDeterminism, "KDD007", "obs-determinism"),
+        (Rule::ConcurrencyReadiness, "KDD008", "concurrency-readiness"),
+        (Rule::ErrorDiscard, "KDD009", "error-discard"),
+        (Rule::CounterArithmetic, "KDD010", "counter-arithmetic"),
+        (Rule::ObsSchema, "KDD011", "obs-schema"),
     ] {
         assert_eq!(rule.code(), code);
         assert_eq!(rule.name(), name);
@@ -278,10 +499,11 @@ fn rule_codes_are_stable() {
 
 #[test]
 fn whole_workspace_is_clean() {
-    // The acceptance gate: the shipped tree lints clean (every honoured
-    // waiver carries a written reason by construction of the waiver parser).
+    // The acceptance gate: the shipped tree lints clean under the full
+    // pedantic rule set, KDD008–KDD011 included (every honoured waiver
+    // carries a written reason by construction of the waiver parser).
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let report = xtask::lint_workspace(std::path::Path::new(root), Options::default())
+    let report = xtask::lint_workspace(std::path::Path::new(root), Options { pedantic: true })
         .expect("workspace walk");
     let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
     assert_eq!(rendered, Vec::<String>::new(), "workspace must lint clean");
