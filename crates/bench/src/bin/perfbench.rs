@@ -14,7 +14,15 @@
 //! perfbench --label after           # record under a named run
 //! perfbench --smoke                 # fast CI variant (same schema)
 //! perfbench --validate              # check committed BENCH files only
+//! perfbench --gate                  # smoke kernels vs committed baseline
 //! ```
+//!
+//! `--gate` re-times the kernels in smoke mode and compares each entry
+//! against the **last committed run** in `BENCH_kernels.json`. Ratios are
+//! normalised by the memory-bound `xor_into_4k` reference (its drift
+//! measures the host, not the code), and any kernel more than 30% slower
+//! after normalisation fails the gate. Engine replay deltas are printed
+//! for information only — wall-clock replay is too noisy to gate on.
 //!
 //! Determinism note: workloads and data are fully seeded; only the
 //! timings vary run to run (the bench crate is exempt from KDD003).
@@ -31,8 +39,8 @@ use std::time::Instant;
 use kdd_bench::perfjson::{self, obj, Json};
 use kdd_blockdev::SsdDevice;
 use kdd_cache::CacheGeometry;
-use kdd_core::{KddConfig, KddEngine};
-use kdd_delta::codec::{compress, decompress};
+use kdd_core::{KddConfig, KddEngine, WriteRequest};
+use kdd_delta::codec::{compress, decompress, Compressor};
 use kdd_delta::content::PageMutator;
 use kdd_delta::xor::{is_all_zero, xor2_into, xor_into, xor_pages, xor_pages_into, zero_fraction};
 use kdd_obs::{Recorder, RecorderConfig};
@@ -51,11 +59,12 @@ struct Opts {
     label: String,
     smoke: bool,
     validate: bool,
+    gate: bool,
     out_dir: String,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: perfbench [--label NAME] [--smoke] [--validate] [--out-dir DIR]");
+    eprintln!("usage: perfbench [--label NAME] [--smoke] [--validate] [--gate] [--out-dir DIR]");
     std::process::exit(2);
 }
 
@@ -64,6 +73,7 @@ fn parse_opts() -> Opts {
         label: "current".to_string(),
         smoke: false,
         validate: false,
+        gate: false,
         out_dir: ".".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +82,7 @@ fn parse_opts() -> Opts {
             "--label" => opts.label = it.next().unwrap_or_else(|| usage()),
             "--smoke" => opts.smoke = true,
             "--validate" => opts.validate = true,
+            "--gate" => opts.gate = true,
             "--out-dir" => opts.out_dir = it.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
@@ -108,6 +119,42 @@ fn time_ns(rounds: usize, round_ns: u64, mut f: impl FnMut()) -> f64 {
 
 fn mb_per_s(bytes: usize, ns: f64) -> f64 {
     bytes as f64 / ns * 1e9 / 1e6
+}
+
+/// All-zero page: the degenerate rewrite (page unchanged → delta is zero).
+fn class_page_zero() -> Vec<u8> {
+    vec![0u8; PAGE]
+}
+
+/// Text-like page: repeated log-style records with incrementing decimal
+/// fields — zero-free and highly LZ-compressible (hot-metadata class).
+fn class_page_text() -> Vec<u8> {
+    let mut page = Vec::with_capacity(PAGE + 64);
+    let mut n = 0u32;
+    while page.len() < PAGE {
+        let line = format!(
+            "req={n:06} op=write lat_us={:04} path=/vol0/seg{:03}/blk ",
+            (n * 37) % 1000,
+            n % 128
+        );
+        page.extend_from_slice(line.as_bytes());
+        n += 1;
+    }
+    page.truncate(PAGE);
+    page
+}
+
+/// Incompressible page: xorshift-mixed bytes — no zero runs, no repeats.
+fn class_page_incompressible() -> Vec<u8> {
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    (0..PAGE)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
 }
 
 fn kernel_entry(name: &str, bytes: usize, ns: f64) -> Json {
@@ -203,12 +250,29 @@ fn bench_kernels(smoke: bool) -> Vec<Json> {
     entries.push(kernel_entry("is_all_zero_4k", PAGE, ns));
     eprintln!("  is_all_zero_4k           {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
 
-    // Delta codec round trip.
+    // Delta codec round trip, measured through the persistent Compressor
+    // (the engine's hot-path entry point, scratch reused across calls).
+    let mut comp = Compressor::new();
     let ns = time_ns(rounds, round_ns, || {
-        black_box(compress(black_box(&delta)));
+        black_box(comp.compress(black_box(&delta)));
     });
     entries.push(kernel_entry("compress_4k_delta", PAGE, ns));
     eprintln!("  compress_4k_delta        {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+
+    // Ratio-stratified codec benches: the match finder behaves very
+    // differently per content class, so each class is tracked as its own
+    // trajectory entry (all-zero, text-like/compressible, incompressible).
+    for (name, page) in [
+        ("compress_4k_zero", class_page_zero()),
+        ("compress_4k_text", class_page_text()),
+        ("compress_4k_incompressible", class_page_incompressible()),
+    ] {
+        let ns = time_ns(rounds, round_ns, || {
+            black_box(comp.compress(black_box(&page)));
+        });
+        entries.push(kernel_entry(name, PAGE, ns));
+        eprintln!("  {name:<24} {ns:9.1} ns/iter  {:8.0} MB/s", mb_per_s(PAGE, ns));
+    }
 
     let ns = time_ns(rounds, round_ns, || {
         black_box(decompress(black_box(&compressed)).ok());
@@ -240,35 +304,48 @@ fn build_engine() -> (KddEngine, u64) {
 
 /// Drive a seeded trace through `engine` (rewrites are mutations of the
 /// previous content so the delta path is exercised); returns ops issued.
+/// Each record's write pages are submitted as one group commit through
+/// [`KddEngine::write_batch`], matching the batched replay in `kdd-sim`.
 fn drive_engine(engine: &mut KddEngine, capacity: u64, trace: &Trace, seed: u64) -> u64 {
     let mut mutator = PageMutator::new(PAGE, 0.15, 64, seed ^ 0x9e37);
     // Current content of every written page, so rewrites are *mutations*
     // (exercising the delta path) rather than fresh random pages.
     let mut versions: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+    let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
     let mut ops = 0u64;
     for rec in &trace.records {
-        for page in rec.pages() {
-            let lba = page % capacity;
-            match rec.op {
-                Op::Read => {
+        match rec.op {
+            Op::Read => {
+                for page in rec.pages() {
+                    let lba = page % capacity;
                     if engine.read(lba).is_err() {
                         eprintln!("replay read error at lba {lba}");
                         std::process::exit(1);
                     }
+                    ops += 1;
                 }
-                Op::Write => {
+            }
+            Op::Write => {
+                batch.clear();
+                for page in rec.pages() {
+                    let lba = page % capacity;
                     let next = match versions.get(&lba) {
                         Some(prev) => mutator.mutate(prev),
                         None => mutator.initial_page(),
                     };
-                    if let Err(e) = engine.write(lba, &next) {
-                        eprintln!("replay write error at lba {lba}: {e}");
-                        std::process::exit(1);
-                    }
-                    versions.insert(lba, next);
+                    batch.push((lba, next));
+                }
+                let reqs: Vec<WriteRequest<'_>> =
+                    batch.iter().map(|(lba, data)| WriteRequest { lba: *lba, data }).collect();
+                if let Err(e) = engine.write_batch(&reqs) {
+                    eprintln!("replay write error at lba {}: {e}", rec.lba);
+                    std::process::exit(1);
+                }
+                ops += batch.len() as u64;
+                for (lba, data) in batch.drain(..) {
+                    versions.insert(lba, data);
                 }
             }
-            ops += 1;
         }
     }
     ops
@@ -420,10 +497,111 @@ fn validate_files(out_dir: &str) -> ! {
     std::process::exit(i32::from(failed));
 }
 
+/// Entries of the most recent run recorded in a BENCH document.
+fn last_run_entries(doc: &Json) -> Option<&[Json]> {
+    doc.get("runs")?.as_arr()?.last()?.get("entries")?.as_arr()
+}
+
+/// Pull `(name, metric)` pairs out of a run's entry list.
+fn run_metrics(entries: &[Json], metric: &str) -> Vec<(String, f64)> {
+    entries
+        .iter()
+        .filter_map(|e| Some((e.get("name")?.as_str()?.to_string(), e.get(metric)?.as_f64()?)))
+        .collect()
+}
+
+/// Host-speed reference kernel: memory-bound, so its drift between the
+/// committed baseline and this run measures the machine, not the code.
+const GATE_REFERENCE: &str = "xor_into_4k";
+/// A kernel more than 30% slower than baseline (normalized) fails.
+const GATE_THRESHOLD: f64 = 1.30;
+
+/// `--gate`: re-time the kernels (smoke mode) and fail if any regressed
+/// more than [`GATE_THRESHOLD`] against the last committed run, after
+/// normalising out the [`GATE_REFERENCE`] host drift. Engine replay
+/// deltas are printed for information only.
+fn run_gate(out_dir: &str) -> ! {
+    let kpath = format!("{out_dir}/{KERNELS_FILE}");
+    let Some(kdoc) = load_doc(&kpath) else {
+        eprintln!("gate: {kpath} missing; nothing to compare against");
+        std::process::exit(1);
+    };
+    let baseline = last_run_entries(&kdoc).map_or_else(Vec::new, |e| run_metrics(e, "ns_per_iter"));
+    if baseline.is_empty() {
+        eprintln!("gate: {kpath} has no recorded runs");
+        std::process::exit(1);
+    }
+    eprintln!("perfbench: gate — kernels (smoke) vs committed baseline ...");
+    let current_entries = bench_kernels(true);
+    let current = run_metrics(&current_entries, "ns_per_iter");
+    let base_of = |name: &str| baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let ref_drift = match (
+        current.iter().find(|(n, _)| n == GATE_REFERENCE).map(|(_, v)| *v),
+        base_of(GATE_REFERENCE),
+    ) {
+        (Some(cur), Some(base)) if base > 0.0 && cur > 0.0 => cur / base,
+        _ => 1.0,
+    };
+    eprintln!("gate: reference {GATE_REFERENCE} host drift x{ref_drift:.3}");
+    let mut failed = false;
+    for (name, cur) in &current {
+        let Some(base) = base_of(name) else {
+            eprintln!("  {name:<26} (new kernel; no baseline)");
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let raw = cur / base;
+        let norm = raw / ref_drift;
+        let verdict = if name == GATE_REFERENCE {
+            "ref"
+        } else if norm > GATE_THRESHOLD {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {name:<26} {base:9.1} -> {cur:9.1} ns/iter  raw {:+6.1}%  norm {:+6.1}%  {verdict}",
+            (raw - 1.0) * 100.0,
+            (norm - 1.0) * 100.0
+        );
+    }
+    let epath = format!("{out_dir}/{ENGINE_FILE}");
+    if let Some(ebase) =
+        load_doc(&epath).as_ref().and_then(last_run_entries).map(|e| run_metrics(e, "ops_per_s"))
+    {
+        eprintln!("perfbench: gate — engine replay (informational) ...");
+        let ecur = run_metrics(&bench_engine(true), "ops_per_s");
+        for (name, cur) in &ecur {
+            match ebase.iter().find(|(n, _)| n == name).map(|(_, v)| *v) {
+                Some(base) if base > 0.0 => eprintln!(
+                    "  {name:<26} {base:9.0} -> {cur:9.0} ops/s  {:+6.1}%",
+                    (cur / base - 1.0) * 100.0
+                ),
+                _ => eprintln!("  {name:<26} (no baseline)"),
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "gate: FAIL — kernel regression beyond {:.0}% after host normalisation",
+            (GATE_THRESHOLD - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!("gate: ok");
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_opts();
     if opts.validate {
         validate_files(&opts.out_dir);
+    }
+    if opts.gate {
+        run_gate(&opts.out_dir);
     }
     if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
         eprintln!("cannot create {}: {e}", opts.out_dir);

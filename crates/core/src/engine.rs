@@ -241,6 +241,16 @@ struct NvState {
     staging: StagingBuffer<Vec<u8>>,
 }
 
+/// One logical page write inside a batched submission
+/// ([`KddEngine::write_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WriteRequest<'a> {
+    /// Target RAID address.
+    pub lba: u64,
+    /// Page-sized payload.
+    pub data: &'a [u8],
+}
+
 /// The prototype-style engine.
 pub struct KddEngine {
     config: KddConfig,
@@ -260,6 +270,16 @@ pub struct KddEngine {
     recorder: Recorder,
     last_class: HitClass,
     last_comp_milli: u32,
+    /// Persistent delta compressor: the match-finder scratch is reused
+    /// across write hits so the compress path allocates nothing but the
+    /// compressed payload itself.
+    codec: codec::Compressor,
+    /// While true (inside [`KddEngine::write_batch`]), metalog page
+    /// commits accumulate in `meta_pending` instead of being persisted
+    /// per-entry; the NVRAM inflight copies keep them crash-safe until
+    /// the group flush confirms them.
+    meta_defer: bool,
+    meta_pending: Vec<CommitBatch<MapEntry>>,
 }
 
 impl KddEngine {
@@ -307,6 +327,9 @@ impl KddEngine {
             recorder: Recorder::disabled(),
             last_class: HitClass::ReadMiss,
             last_comp_milli: 0,
+            codec: codec::Compressor::new(),
+            meta_defer: false,
+            meta_pending: Vec::new(),
             config,
             ssd,
             raid,
@@ -376,16 +399,34 @@ impl KddEngine {
         } else {
             self.last_class
         };
+        let after = self.stats;
+        self.observe_span(kind, lba, before, &after, class, self.last_comp_milli, service);
+    }
+
+    /// Span emission with explicit before/after stats: batched submissions
+    /// snapshot both at dispatch time and emit all spans after the group
+    /// flush, so each span's counter deltas cover exactly its own request.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_span(
+        &mut self,
+        kind: ReqKind,
+        lba: u64,
+        before: &CacheStats,
+        after: &CacheStats,
+        class: HitClass,
+        comp_milli: u32,
+        service: SimTime,
+    ) {
         let d32 = |now: u64, was: u64| u32::try_from(now.saturating_sub(was)).unwrap_or(u32::MAX);
         let mut c = Completion::new(kind, lba, class, service);
-        c.ssd_reads = d32(self.stats.ssd_reads, before.ssd_reads);
-        c.ssd_writes = d32(self.stats.ssd_writes_pages(), before.ssd_writes_pages());
-        c.raid_reads = d32(self.stats.raid_reads, before.raid_reads);
-        c.raid_writes = d32(self.stats.raid_writes, before.raid_writes);
-        c.faults = d32(self.stats.faults_observed, before.faults_observed);
-        c.retries = d32(self.stats.fault_retries, before.fault_retries);
+        c.ssd_reads = d32(after.ssd_reads, before.ssd_reads);
+        c.ssd_writes = d32(after.ssd_writes_pages(), before.ssd_writes_pages());
+        c.raid_reads = d32(after.raid_reads, before.raid_reads);
+        c.raid_writes = d32(after.raid_writes, before.raid_writes);
+        c.faults = d32(after.faults_observed, before.faults_observed);
+        c.retries = d32(after.fault_retries, before.fault_retries);
         if kind == ReqKind::Write {
-            c.comp_milli = self.last_comp_milli;
+            c.comp_milli = comp_milli;
         }
         if self.recorder.record(c) {
             let s = self.sample_now();
@@ -429,7 +470,8 @@ impl KddEngine {
         self.nv.get().staging.len()
     }
 
-    fn page_size(&self) -> usize {
+    /// Cache-page size in bytes (every request payload must match it).
+    pub fn page_size(&self) -> usize {
         self.config.geometry.page_size as usize
     }
 
@@ -465,9 +507,36 @@ impl KddEngine {
         Ok(())
     }
 
+    /// Persist page commits now, or park them for the group flush while a
+    /// batched submission is in flight. Deferred batches stay crash-safe:
+    /// their entries live in the metalog's NVRAM buffer/inflight list until
+    /// [`KddEngine::flush_group`] confirms the flash writes.
+    fn queue_batches(
+        &mut self,
+        batches: Vec<CommitBatch<MapEntry>>,
+        t: &mut SimTime,
+    ) -> Result<(), EngineError> {
+        if self.meta_defer {
+            self.meta_pending.extend(batches);
+            Ok(())
+        } else {
+            self.persist_batches(batches, t)
+        }
+    }
+
+    /// Write every parked metalog page to flash — the group-commit flush
+    /// ending a batched submission.
+    fn flush_group(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        if self.meta_pending.is_empty() {
+            return Ok(());
+        }
+        let batches = std::mem::take(&mut self.meta_pending);
+        self.persist_batches(batches, t)
+    }
+
     fn log_entry(&mut self, e: MapEntry, t: &mut SimTime) -> Result<(), EngineError> {
         let batches = self.metalog.push(e);
-        self.persist_batches(batches, t)
+        self.queue_batches(batches, t)
     }
 
     // ---- delta plumbing ---------------------------------------------------
@@ -557,18 +626,26 @@ impl KddEngine {
                 info.lbas.insert(*lba);
             }
             self.dez.insert(slot, info);
-            for (lba, r) in refs {
+            // Log the whole DEZ page's mappings as one metalog group, then
+            // drop the NVRAM copies. Logging precedes every removal: if the
+            // crash lands in between, recovery sees both and the staged
+            // copies (same bytes) simply supersede the DEZ references.
+            let mut entries = Vec::with_capacity(refs.len());
+            for (lba, r) in &refs {
                 let slot_of = self
                     .cache
-                    .lookup(lba)
+                    .lookup(*lba)
                     .ok_or(EngineError::Inconsistent("old page must be cached"))?;
-                // Log before dropping the NVRAM copy: if the crash lands
-                // between the two, recovery sees both and the staged copy
-                // (same bytes) simply supersedes the DEZ reference.
-                self.log_entry(
-                    MapEntry { lba_raid: lba, slot: slot_of, state: EntryState::Old, dez: Some(r) },
-                    t,
-                )?;
+                entries.push(MapEntry {
+                    lba_raid: *lba,
+                    slot: slot_of,
+                    state: EntryState::Old,
+                    dez: Some(*r),
+                });
+            }
+            let batches = self.metalog.push_group(entries);
+            self.queue_batches(batches, t)?;
+            for (lba, r) in refs {
                 self.nv.get_mut().staging.remove(lba);
                 self.delta_loc.insert(lba, DeltaLoc::Dez(r));
             }
@@ -747,6 +824,87 @@ impl KddEngine {
         result
     }
 
+    /// Submit a vector of writes as one **group commit**: every request
+    /// runs the normal write path (delta staging, fault retry policy, and
+    /// NVRAM durability are identical to [`KddEngine::write`]), but metalog
+    /// page persistence is deferred and flushed once at the end of the
+    /// batch, so one flash write can cover mapping updates from many
+    /// requests. Returns the per-request simulated service times; the
+    /// group flush's cost is charged to the final request (it is the
+    /// batch's "fsync").
+    ///
+    /// Crash safety is unchanged: entries are NVRAM-durable from the
+    /// moment their request is acknowledged (metalog buffer + inflight
+    /// redo list), so a power cut mid-batch loses nothing acknowledged —
+    /// recovery heals unwritten or torn pages from the inflight copies.
+    /// On error the group flush still runs for the already-dispatched
+    /// prefix before the error is surfaced; requests after the failing one
+    /// are not attempted.
+    pub fn write_batch(&mut self, reqs: &[WriteRequest<'_>]) -> Result<Vec<SimTime>, EngineError> {
+        struct PendingSpan {
+            lba: u64,
+            before: CacheStats,
+            after: CacheStats,
+            class: HitClass,
+            comp_milli: u32,
+        }
+        let observing = self.recorder.is_enabled();
+        let mut times: Vec<SimTime> = Vec::with_capacity(reqs.len());
+        let mut spans: Vec<PendingSpan> =
+            Vec::with_capacity(if observing { reqs.len() } else { 0 });
+        self.meta_defer = true;
+        let mut failure = None;
+        for r in reqs {
+            let before = self.stats;
+            match self.write_dispatch(r.lba, r.data) {
+                Ok(t) => {
+                    times.push(t);
+                    if observing {
+                        let class = if self.mode == EngineMode::PassThrough {
+                            HitClass::PassThrough
+                        } else {
+                            self.last_class
+                        };
+                        spans.push(PendingSpan {
+                            lba: r.lba,
+                            before,
+                            after: self.stats,
+                            class,
+                            comp_milli: self.last_comp_milli,
+                        });
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.meta_defer = false;
+        let mut tg = SimTime::ZERO;
+        let flush = self.flush_group(&mut tg);
+        if let Some(e) = failure {
+            // The dispatch failure is the actionable error; a flush failure
+            // here is a second symptom of the same fault (the pages stay on
+            // the inflight redo list either way).
+            return Err(e);
+        }
+        flush?;
+        if let Some(last) = times.last_mut() {
+            *last += tg;
+        }
+        if let Some(last) = spans.last_mut() {
+            // The group flush's meta writes belong to the batch; fold them
+            // into the final request's span.
+            last.after = self.stats;
+        }
+        for (s, t) in spans.iter().zip(times.iter()) {
+            let (before, after) = (s.before, s.after);
+            self.observe_span(ReqKind::Write, s.lba, &before, &after, s.class, s.comp_milli, *t);
+        }
+        Ok(times)
+    }
+
     fn write_dispatch(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
         if self.mode == EngineMode::PassThrough {
             return self.raid_write(lba, data);
@@ -825,7 +983,7 @@ impl KddEngine {
                 let mut delta = self.pool.acquire();
                 t += self.ssd.read_page(self.slot_lpn(slot), &mut delta)?;
                 xor_into(&mut delta, data); // base ⊕ new
-                let comp = codec::compress(&delta);
+                let comp = self.codec.compress(&delta);
                 self.last_comp_milli = ((comp.len() * 1000) / self.page_size()) as u32;
                 self.pool.release(delta);
                 t += SimTime::from_micros(30); // compression CPU cost
@@ -1490,6 +1648,9 @@ impl KddEngine {
             recorder: self.recorder,
             last_class: HitClass::ReadMiss,
             last_comp_milli: 0,
+            codec: codec::Compressor::new(),
+            meta_defer: false,
+            meta_pending: Vec::new(),
         })
     }
 
@@ -1512,6 +1673,9 @@ impl KddEngine {
         self.nv.get_mut().staging.drain();
         self.metalog = MetaLog::new(self.meta_pages, (self.page_size() - META_HDR) / ENTRY_BYTES);
         self.metalog.enable_inflight_tracking();
+        // Any pages parked by an in-flight batch belonged to the lost
+        // cache's log; the fresh SSD starts from an empty mapping.
+        self.meta_pending.clear();
         self.delta_loc.clear();
         self.dez.clear();
         self.pending_rows = PendingRows::default();

@@ -30,7 +30,7 @@ pub mod policy;
 pub mod staging;
 
 pub use config::KddConfig;
-pub use engine::KddEngine;
+pub use engine::{KddEngine, WriteRequest};
 pub use metalog::{CommitBatch, KeyEntry, LogEntry, MetaLog};
 pub use policy::KddPolicy;
 pub use staging::{DeltaPayload, StagingBuffer};

@@ -6,7 +6,8 @@
 // "Static analysis & invariants".
 #![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 
-use kdd_delta::codec::{compress, decompress};
+use kdd_delta::codec::{compress, decompress, Compressor};
+use kdd_delta::content::PageMutator;
 use kdd_delta::xor::{xor_into, xor_pages};
 use proptest::prelude::*;
 
@@ -74,5 +75,66 @@ proptest! {
         let mut rebuilt = old.clone();
         xor_into(&mut rebuilt, &recovered_delta);
         prop_assert_eq!(rebuilt, new);
+    }
+
+    /// Adversarial input for the hash-chain finder: pages stitched from
+    /// short repeated motifs at varying periods, including periods below
+    /// MIN_MATCH (overlapping matches, where a match's source extends into
+    /// the region being produced) and hash-collision-prone step patterns.
+    #[test]
+    fn match_finder_roundtrips_adversarial_overlap(
+        motif in proptest::collection::vec(any::<u8>(), 1..9),
+        reps in 1usize..1500,
+        prefix in proptest::collection::vec(any::<u8>(), 0..32),
+        suffix in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut page = prefix;
+        for _ in 0..reps {
+            page.extend_from_slice(&motif);
+            if page.len() >= 6000 {
+                break;
+            }
+        }
+        page.extend_from_slice(&suffix);
+        let c = compress(&page);
+        prop_assert!(c.len() <= page.len() + 1);
+        prop_assert_eq!(decompress(&c).unwrap(), page);
+    }
+
+    /// Trace-derived shape: XOR deltas of clustered seeded mutations (the
+    /// exact page class the engine's write-hit path feeds the codec).
+    #[test]
+    fn match_finder_roundtrips_trace_derived_deltas(
+        seed in any::<u64>(),
+        change in 1u32..60,
+        run_len in 1usize..256,
+        versions in 1usize..5,
+    ) {
+        let mut m = PageMutator::new(4096, f64::from(change) / 100.0, run_len, seed);
+        let mut prev = m.initial_page();
+        for _ in 0..versions {
+            let next = m.mutate(&prev);
+            let delta = xor_pages(&prev, &next);
+            let c = compress(&delta);
+            prop_assert!(c.len() <= delta.len() + 1);
+            prop_assert_eq!(decompress(&c).unwrap(), delta);
+            prev = next;
+        }
+    }
+
+    /// A reused [`Compressor`] (the engine's per-instance scratch state)
+    /// produces byte-identical output to a fresh one on every page of a
+    /// random mixed sequence — scratch reuse must not leak state.
+    #[test]
+    fn compressor_reuse_matches_fresh_on_random_sequence(
+        pages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..4096), 1..6),
+    ) {
+        let mut shared = Compressor::new();
+        for page in &pages {
+            let reused = shared.compress(page);
+            prop_assert_eq!(&reused, &compress(page), "reuse diverged");
+            prop_assert_eq!(decompress(&reused).unwrap(), page.clone());
+        }
     }
 }

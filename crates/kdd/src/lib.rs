@@ -78,7 +78,7 @@ pub mod prelude {
     pub use kdd_cache::policies::{CachePolicy, RaidModel};
     pub use kdd_cache::setassoc::CacheGeometry;
     pub use kdd_cache::stats::CacheStats;
-    pub use kdd_core::engine::{EngineMode, KddEngine};
+    pub use kdd_core::engine::{EngineMode, KddEngine, WriteRequest};
     pub use kdd_core::{KddConfig, KddPolicy};
     pub use kdd_delta::model::{DeltaSizeModel, FixedDeltaModel, GaussianDeltaModel};
     pub use kdd_obs::{Recorder, RecorderConfig};

@@ -27,9 +27,15 @@ pub mod prototype;
 pub mod queue;
 pub mod service;
 
-pub use closedloop::{run_closed_loop, run_closed_loop_observed, ClosedLoopReport};
+pub use closedloop::{
+    run_closed_loop, run_closed_loop_engine, run_closed_loop_observed, ClosedLoopReport,
+    EngineClosedLoopReport,
+};
 pub use des::{replay_des, DesReport};
 pub use factory::{build_policy, PolicyKind};
-pub use openloop::{replay_open_loop, replay_open_loop_observed, OpenLoopReport};
+pub use openloop::{
+    replay_open_loop, replay_open_loop_engine, replay_open_loop_observed, EngineReplayReport,
+    OpenLoopReport,
+};
 pub use queue::MultiServer;
 pub use service::ServiceModel;

@@ -151,8 +151,21 @@ pub const HOT_ALLOC_FILES: &[&str] = &[
     "crates/blockdev/src/store.rs",
 ];
 
-/// Allocation tokens rule `KDD006` flags in hot-path files.
-const HOT_ALLOC_TOKENS: &[&str] = &["vec![0u8;", ".to_vec()", ".clone()"];
+/// Allocation tokens rule `KDD006` flags in hot-path files. Besides the
+/// classic page-buffer shapes, the codec's scratch tables (`u16`/`u32`/
+/// `u64` word vectors, sentinel-filled index tables) count: a hash-chain
+/// match finder that rebuilt its tables per call would dominate the
+/// compress cost, so scratch must live in a reused `Compressor`.
+const HOT_ALLOC_TOKENS: &[&str] = &[
+    "vec![0u8;",
+    "vec![0u16;",
+    "vec![0u32;",
+    "vec![0u64;",
+    "vec![u32::MAX;",
+    "vec![usize::MAX;",
+    ".to_vec()",
+    ".clone()",
+];
 
 /// Metric-registration calls: a file containing one of these feeds the
 /// observability registry and falls under rule `KDD007` wherever it lives.

@@ -9,3 +9,13 @@ pub fn write_path(data: &[u8]) -> Vec<u8> {
     drop(replay);
     page
 }
+
+// A hash-chain match finder that rebuilds its scratch tables on every
+// call: the table fills dominate the compress cost, so each is a finding.
+pub fn compress_once(data: &[u8]) -> usize {
+    let head = vec![0u64; 1 << 13];
+    let chain = vec![u32::MAX; data.len()];
+    let window = vec![0u16; 256];
+    let offsets = vec![0u32; 64];
+    head.len() + chain.len() + window.len() + offsets.len()
+}

@@ -13,6 +13,26 @@ pub fn snapshot(data: &[u8]) -> Vec<u8> {
     data.to_vec()
 }
 
+/// Scratch tables built once and reused across calls — the sanctioned
+/// shape for match-finder state (cf. `delta::codec::Compressor`).
+pub struct Finder {
+    head: Vec<u64>,
+    chain: Vec<u32>,
+}
+
+impl Finder {
+    pub fn new() -> Finder {
+        // kdd-waiver(KDD006): one-time scratch construction, reused per call.
+        let head = vec![0u64; 1 << 13];
+        Finder { head, chain: Vec::new() }
+    }
+
+    pub fn find(&mut self, data: &[u8]) -> usize {
+        self.chain.resize(data.len(), u32::MAX); // grows once, then reused
+        self.head.len() + self.chain.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -177,9 +177,13 @@ fn hot_alloc_bad_pins_every_site() {
     assert_eq!(
         got,
         vec![
-            (Rule::HotAlloc, 5), // vec![0u8; ...]
-            (Rule::HotAlloc, 7), // .to_vec()
-            (Rule::HotAlloc, 8), // .clone()
+            (Rule::HotAlloc, 5),  // vec![0u8; ...]
+            (Rule::HotAlloc, 7),  // .to_vec()
+            (Rule::HotAlloc, 8),  // .clone()
+            (Rule::HotAlloc, 16), // vec![0u64; ...] (match-finder head table)
+            (Rule::HotAlloc, 17), // vec![u32::MAX; ...] (chain table)
+            (Rule::HotAlloc, 18), // vec![0u16; ...]
+            (Rule::HotAlloc, 19), // vec![0u32; ...]
         ]
     );
     let first = report.violations.first().expect("has violations");
@@ -201,11 +205,15 @@ fn hot_alloc_good_is_clean_and_honours_shorthand_waiver() {
     let src = fixture("hot_alloc_good.rs");
     let report = lint_source("core", "crates/raid/src/array.rs", &src, Options::default());
     assert_eq!(report.violations, vec![], "pooled + waived fixture must be clean");
-    assert_eq!(report.waivers.len(), 1, "one shorthand waiver honoured");
+    assert_eq!(report.waivers.len(), 2, "both shorthand waivers honoured");
     let w = &report.waivers[0];
     assert_eq!(w.rule, Rule::HotAlloc);
     assert_eq!(w.line, 13);
     assert!(w.reason.contains("returned to the caller"));
+    let w = &report.waivers[1];
+    assert_eq!(w.rule, Rule::HotAlloc);
+    assert_eq!(w.line, 26);
+    assert!(w.reason.contains("one-time scratch construction"));
 }
 
 #[test]
