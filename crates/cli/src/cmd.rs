@@ -8,9 +8,9 @@
 use kdd_cache::policies::CachePolicy;
 use kdd_cache::policies::RaidModel;
 use kdd_cache::setassoc::CacheGeometry;
-use kdd_sim::closedloop::run_closed_loop;
+use kdd_sim::closedloop::{run_closed_loop, run_closed_loop_observed};
 use kdd_sim::factory::{build_policy, PolicyKind};
-use kdd_sim::openloop::replay_open_loop;
+use kdd_sim::openloop::{obs_snapshot_policy, replay_open_loop, replay_open_loop_observed};
 use kdd_sim::service::ServiceModel;
 use kdd_trace::fio::{FioConfig, FioWorkload};
 use kdd_trace::record::Trace;
@@ -36,6 +36,16 @@ pub struct Opts {
     pub ops: u64,
     pub n_faults: usize,
     pub json: bool,
+    /// Span-ring capacity for observed runs (`--ring-capacity`).
+    pub ring_capacity: Option<usize>,
+    /// Sampling interval for observed runs in simulated milliseconds
+    /// (`--sample-interval-ms`).
+    pub sample_interval_ms: Option<u64>,
+    /// Drift threshold for `obs-diff` (`--threshold`, default 0.01).
+    pub threshold: Option<f64>,
+    /// Write a `kdd-obs` snapshot of the (single-policy) sim run to this
+    /// file (`--obs FILE` on `replay`/`fio`).
+    pub obs: Option<String>,
     pub positional: Vec<String>,
 }
 
@@ -77,6 +87,33 @@ impl Opts {
                         take("read-rate")?.parse().map_err(|e| format!("bad --read-rate: {e}"))?
                 }
                 "--json" => o.json = true,
+                "--ring-capacity" => {
+                    let v: usize = take("ring-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --ring-capacity: {e}"))?;
+                    if v == 0 {
+                        return Err("--ring-capacity must be at least 1".into());
+                    }
+                    o.ring_capacity = Some(v);
+                }
+                "--sample-interval-ms" => {
+                    let v: u64 = take("sample-interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --sample-interval-ms: {e}"))?;
+                    if v == 0 {
+                        return Err("--sample-interval-ms must be at least 1".into());
+                    }
+                    o.sample_interval_ms = Some(v);
+                }
+                "--threshold" => {
+                    let v: f64 =
+                        take("threshold")?.parse().map_err(|e| format!("bad --threshold: {e}"))?;
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err("--threshold must be a non-negative number".into());
+                    }
+                    o.threshold = Some(v);
+                }
+                "--obs" => o.obs = Some(take("obs")?),
                 "--plan" => o.plan = Some(take("plan")?),
                 "--ops" => o.ops = take("ops")?.parse().map_err(|e| format!("bad --ops: {e}"))?,
                 "--faults" => {
@@ -225,15 +262,49 @@ pub fn sim(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the enabled recorder behind `--obs FILE`, honouring
+/// `--ring-capacity`/`--sample-interval-ms`. One snapshot file describes
+/// one run, so a multi-policy sweep is rejected up front.
+fn obs_recorder(o: &Opts) -> Result<Option<(String, kdd_obs::Recorder)>, String> {
+    use kdd_obs::{Recorder, RecorderConfig};
+    use kdd_util::units::SimTime;
+    let Some(path) = o.obs.clone() else { return Ok(None) };
+    if o.policies()?.len() != 1 {
+        return Err("--obs records a single run: pick one policy with --policy".into());
+    }
+    let recorder = Recorder::new(RecorderConfig {
+        sample_interval: SimTime::from_millis(o.sample_interval_ms.unwrap_or(1000)),
+        ring_capacity: o.ring_capacity.unwrap_or(128),
+    });
+    Ok(Some((path, recorder)))
+}
+
+/// Export the recorder's snapshot over the finished policy and write it.
+fn write_policy_snapshot(
+    policy: &dyn CachePolicy,
+    recorder: &kdd_obs::Recorder,
+    path: &str,
+) -> Result<(), String> {
+    let doc = obs_snapshot_policy(policy, recorder)
+        .ok_or_else(|| "recorder unexpectedly disabled".to_string())?;
+    std::fs::write(path, doc.render()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote {} snapshot to {path}", kdd_obs::SCHEMA);
+    Ok(())
+}
+
 /// `replay`: open-loop latency (Figure 9 style).
 pub fn replay(o: &Opts) -> Result<(), String> {
     let trace = o.load_trace()?;
     let (g, raid) = geometry_for(&trace, o.cache_frac);
     let model = ServiceModel::paper_default();
+    let obs = obs_recorder(o)?;
     println!("{:<9} {:>8} {:>12} {:>12} {:>12}", "policy", "hit%", "mean resp", "p50", "p99");
     for kind in o.policies()? {
         let mut p = build_policy(kind, g, raid, o.seed);
-        let r = replay_open_loop(p.as_mut(), &trace, &model, 5, 1);
+        let r = match &obs {
+            Some((_, rec)) => replay_open_loop_observed(p.as_mut(), &trace, &model, 5, 1, rec),
+            None => replay_open_loop(p.as_mut(), &trace, &model, 5, 1),
+        };
         println!(
             "{:<9} {:>7.1}% {:>12} {:>12} {:>12}",
             r.policy,
@@ -242,6 +313,9 @@ pub fn replay(o: &Opts) -> Result<(), String> {
             format!("{}", r.p50),
             format!("{}", r.p99)
         );
+        if let Some((path, rec)) = &obs {
+            write_policy_snapshot(p.as_ref(), rec, path)?;
+        }
     }
     Ok(())
 }
@@ -265,6 +339,7 @@ pub fn fio(o: &Opts) -> Result<(), String> {
         cache_pages,
         cfg.threads
     );
+    let obs = obs_recorder(o)?;
     println!(
         "{:<9} {:>8} {:>12} {:>12} {:>14}",
         "policy", "hit%", "mean resp", "p99", "ssd writes"
@@ -272,7 +347,10 @@ pub fn fio(o: &Opts) -> Result<(), String> {
     for kind in o.policies()? {
         let mut p = build_policy(kind, g, raid, o.seed);
         let mut w = FioWorkload::new(cfg, o.seed + 1);
-        let r = run_closed_loop(p.as_mut(), &mut w, &model, 5);
+        let r = match &obs {
+            Some((_, rec)) => run_closed_loop_observed(p.as_mut(), &mut w, &model, 5, rec),
+            None => run_closed_loop(p.as_mut(), &mut w, &model, 5),
+        };
         println!(
             "{:<9} {:>7.1}% {:>12} {:>12} {:>14}",
             r.policy,
@@ -281,6 +359,9 @@ pub fn fio(o: &Opts) -> Result<(), String> {
             format!("{}", r.p99),
             format!("{}", r.ssd_write_bytes)
         );
+        if let Some((path, rec)) = &obs {
+            write_policy_snapshot(p.as_ref(), rec, path)?;
+        }
     }
     Ok(())
 }
@@ -408,7 +489,8 @@ pub fn faults(o: &Opts) -> Result<(), String> {
 }
 
 /// Drive the full engine over a seeded paper workload with an enabled
-/// observability recorder, returning the exported `kdd-obs/v1` snapshot.
+/// observability recorder, returning the exported `kdd-obs/v2` snapshot.
+/// `--ring-capacity` and `--sample-interval-ms` tune the recorder.
 fn run_observed_engine(o: &Opts) -> Result<kdd_obs::Json, String> {
     use kdd_blockdev::SsdDevice;
     use kdd_core::{KddConfig, KddEngine};
@@ -431,8 +513,8 @@ fn run_observed_engine(o: &Opts) -> Result<kdd_obs::Json, String> {
     let g = CacheGeometry { total_pages: cache_pages, ways: 16, page_size: PAGE };
     let mut engine = KddEngine::new(KddConfig::new(g), ssd, raid).map_err(|e| e.to_string())?;
     engine.attach_recorder(Recorder::new(RecorderConfig {
-        sample_interval: SimTime::from_secs(1),
-        ring_capacity: 128,
+        sample_interval: SimTime::from_millis(o.sample_interval_ms.unwrap_or(1000)),
+        ring_capacity: o.ring_capacity.unwrap_or(128),
     }));
 
     let mut mutator = PageMutator::new(PAGE as usize, 0.15, 64, o.seed);
@@ -459,9 +541,9 @@ fn run_observed_engine(o: &Opts) -> Result<kdd_obs::Json, String> {
     engine.obs_snapshot().ok_or_else(|| "recorder unexpectedly disabled".to_string())
 }
 
-/// `report`: render a `kdd-obs/v1` observability snapshot — either from
-/// a saved JSON file, or by driving a fresh observed engine run.
-pub fn report(o: &Opts) -> Result<(), String> {
+/// Load a snapshot document from `--in`/positional, or drive a fresh
+/// observed engine run, then validate it.
+fn load_snapshot(o: &Opts) -> Result<kdd_obs::Json, String> {
     use kdd_obs::{json, validate_snapshot};
     let doc = match o.input.clone().or_else(|| o.positional.first().cloned()) {
         Some(path) => {
@@ -474,12 +556,64 @@ pub fn report(o: &Opts) -> Result<(), String> {
     if !problems.is_empty() {
         return Err(format!("invalid kdd-obs snapshot: {}", problems.join("; ")));
     }
+    Ok(doc)
+}
+
+/// `report`: render a `kdd-obs` observability snapshot (v1 or v2) —
+/// either from a saved JSON file, or by driving a fresh observed run.
+pub fn report(o: &Opts) -> Result<(), String> {
+    let doc = load_snapshot(o)?;
     if o.json {
         print!("{}", doc.render());
         return Ok(());
     }
     render_report(&doc);
     Ok(())
+}
+
+/// `trace`: export a snapshot's span ring as a Chrome trace-event /
+/// Perfetto-loadable JSON timeline.
+pub fn trace(o: &Opts) -> Result<(), String> {
+    let doc = load_snapshot(o)?;
+    let trace = kdd_obs::trace_events(&doc)?;
+    let rendered = trace.render();
+    match o.out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            let n = trace.get("traceEvents").and_then(kdd_obs::Json::as_arr).map_or(0, <[_]>::len);
+            eprintln!("wrote {n} trace events to {path} (load in ui.perfetto.dev)");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `obs-diff`: thresholded comparison of two snapshot documents — the
+/// obs analogue of `perfbench --gate`. Exits non-zero on any breach or
+/// structural mismatch.
+pub fn obs_diff(o: &Opts) -> Result<(), String> {
+    use kdd_obs::{diff_snapshots, json, DiffOptions};
+    let (base_path, cur_path) = match o.positional.as_slice() {
+        [a, b] => (a, b),
+        _ => return Err("obs-diff needs exactly two snapshot files: <baseline> <candidate>".into()),
+    };
+    let load = |path: &str| -> Result<kdd_obs::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = load(base_path)?;
+    let cur = load(cur_path)?;
+    let mut opts = DiffOptions::default();
+    if let Some(t) = o.threshold {
+        opts.threshold = t;
+    }
+    let report = diff_snapshots(&base, &cur, &opts);
+    print!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{cur_path} drifted from {base_path}"))
+    }
 }
 
 /// Human-readable view of a validated snapshot document.
@@ -491,7 +625,7 @@ fn render_report(doc: &kdd_obs::Json) {
     let counter = |key: &str| num(table("counters").and_then(|c| c.get(key)));
     let derived = |key: &str| num(table("derived").and_then(|d| d.get(key)));
 
-    println!("kdd-obs/v1 snapshot");
+    println!("{} snapshot", doc.get("schema").and_then(Json::as_str).unwrap_or("kdd-obs"));
     println!(
         "requests: {:.0}  hit ratio {:.1}%  (read hit {:.1}%)",
         counter("obs.requests"),
@@ -524,6 +658,29 @@ fn render_report(doc: &kdd_obs::Json) {
             g("metalog.pages_total"),
             derived("metalog.occupancy") * 100.0
         );
+    }
+
+    // "Where the microseconds go": per-stage simulated-time totals from
+    // the v2 latency-attribution table, largest first.
+    if let Some(Json::Obj(stages)) = doc.get("stages") {
+        let mut rows: Vec<(&str, f64, f64)> = stages
+            .iter()
+            .map(|(name, h)| (name.as_str(), num(h.get("sum")), num(h.get("count"))))
+            .filter(|&(_, sum, count)| sum > 0.0 || count > 0.0)
+            .collect();
+        let total: f64 = rows.iter().map(|&(_, sum, _)| sum).sum();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if !rows.is_empty() {
+            println!("\nwhere the microseconds go ({:.0} us attributed):", total / 1e3);
+            println!("{:>20} {:>12} {:>10} {:>7}", "stage", "total(us)", "spans", "share");
+            for (name, sum, count) in rows {
+                println!(
+                    "{name:>20} {:>12.0} {count:>10.0} {:>6.1}%",
+                    sum / 1e3,
+                    if total > 0.0 { sum / total * 100.0 } else { 0.0 }
+                );
+            }
+        }
     }
 
     if let Some(ts) = doc.get("timeseries").and_then(Json::as_arr) {
@@ -576,11 +733,17 @@ fn render_report(doc: &kdd_obs::Json) {
     }
 
     if let Some(spans) = doc.get("spans") {
-        println!(
-            "\nspans: {:.0} recorded, {:.0} dropped by the ring",
-            num(spans.get("pushed")),
-            num(spans.get("dropped"))
-        );
+        let pushed = num(spans.get("pushed"));
+        let dropped = num(spans.get("dropped"));
+        println!("\nspans: {pushed:.0} recorded, {dropped:.0} dropped by the ring");
+        if dropped > 0.0 {
+            let cap = num(spans.get("capacity"));
+            println!(
+                "WARNING: span ring overflowed — {dropped:.0} of {pushed:.0} spans were \
+                 dropped (ring capacity {cap:.0}); rerun with a larger --ring-capacity to \
+                 keep them"
+            );
+        }
     }
 }
 

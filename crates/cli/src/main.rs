@@ -32,6 +32,8 @@ fn main() {
         "fio" => cmd::fio(&opts),
         "faults" => cmd::faults(&opts),
         "report" => cmd::report(&opts),
+        "trace" => cmd::trace(&opts),
+        "obs-diff" => cmd::obs_diff(&opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -64,15 +66,23 @@ commands:
               --cache-frac F (of unique pages; default 0.15)
   replay      open-loop latency replay (Figure 9 style)
               same selectors as sim
+              --obs FILE write a kdd-obs snapshot (single --policy only;
+              --ring-capacity N --sample-interval-ms N tune the recorder)
   fio         closed-loop Zipf load (Figures 10/11 style)
               --read-rate F  --scale N  --policy ...
+              --obs FILE as in replay
   faults      fault-injection drill on the full engine (RPO-0 check)
               --plan \"ssd@120:transient,disk1@50:drop,any@900:power\"
               or --ops N --faults K for a seeded random plan
-  report      render a kdd-obs/v1 observability snapshot
+  report      render a kdd-obs observability snapshot (v1 or v2)
               <FILE.json> to read a saved snapshot, or
               --workload ... --scale N to drive a fresh observed run
               [--json] for the raw document
+              --ring-capacity N --sample-interval-ms N tune the recorder
+  trace       export a snapshot's span ring as Chrome trace-event JSON
+              (Perfetto-loadable); same inputs as report, --out FILE
+  obs-diff    thresholded comparison of two snapshots (CI gate)
+              <baseline.json> <candidate.json>  [--threshold F (0.01)]
 
 common:       --seed N (default 42)"
     );

@@ -40,7 +40,7 @@ use kdd_cache::setassoc::{InsertOutcome, PageState, SetAssocCache};
 use kdd_cache::stats::CacheStats;
 use kdd_delta::codec;
 use kdd_delta::xor::xor_into;
-use kdd_obs::{Completion, HitClass, Recorder, ReqKind, Sample};
+use kdd_obs::{Completion, HitClass, Recorder, ReqKind, Sample, Stage, StageTimes};
 use kdd_raid::array::{RaidArray, RaidCost, RaidError};
 use kdd_util::hash::{crc32_update, FastMap};
 use kdd_util::units::SimTime;
@@ -280,6 +280,13 @@ pub struct KddEngine {
     /// the group flush confirms them.
     meta_defer: bool,
     meta_pending: Vec<CommitBatch<MapEntry>>,
+    /// Stage-time accumulator for the request currently being dispatched
+    /// (`kdd-obs/v2` latency attribution). Reset at the start of every
+    /// dispatch attempt so retries report only the acknowledged attempt,
+    /// keeping the conservation invariant (stage sum ≤ service time);
+    /// background work (cleaner, flush, recovery) swaps it out and
+    /// reports through its own span.
+    cur_stages: StageTimes,
 }
 
 impl KddEngine {
@@ -330,6 +337,7 @@ impl KddEngine {
             codec: codec::Compressor::new(),
             meta_defer: false,
             meta_pending: Vec::new(),
+            cur_stages: StageTimes::new(),
             config,
             ssd,
             raid,
@@ -360,8 +368,9 @@ impl KddEngine {
         &self.recorder
     }
 
-    /// Export the full `kdd-obs/v1` snapshot: totals, timeseries, wear
-    /// histogram and the span ring. `None` when no recorder is attached.
+    /// Export the full `kdd-obs/v2` snapshot: totals, per-stage latency
+    /// attribution, timeseries, wear histogram and the span ring. `None`
+    /// when no recorder is attached.
     pub fn obs_snapshot(&self) -> Option<kdd_obs::Json> {
         let mut wear = kdd_obs::Log2Hist::new();
         for e in self.ssd.erase_counts() {
@@ -400,7 +409,30 @@ impl KddEngine {
             self.last_class
         };
         let after = self.stats;
-        self.observe_span(kind, lba, before, &after, class, self.last_comp_milli, service);
+        let stages = std::mem::take(&mut self.cur_stages);
+        self.observe_span(kind, lba, before, &after, class, self.last_comp_milli, service, stages);
+    }
+
+    /// Charge `dt` of simulated time to both the caller's clock and the
+    /// in-flight span's stage breakdown — the one call every costed
+    /// dispatch site makes, so the conservation invariant (stage sum ≤
+    /// service time) holds by construction.
+    #[inline]
+    fn charge_stage(&mut self, stage: Stage, dt: SimTime, t: &mut SimTime) {
+        *t += dt;
+        self.cur_stages.add(stage, dt);
+    }
+
+    /// Record finished background work (cleaner pass, group-commit
+    /// flush, failure recovery) as a first-class span on the ring.
+    fn note_background(&mut self, stage: Stage, dur: SimTime, used: StageTimes) {
+        if dur == SimTime::ZERO && used.is_zero() {
+            return;
+        }
+        if self.recorder.record_background(stage, dur, used) {
+            let s = self.sample_now();
+            self.recorder.push_sample(s);
+        }
     }
 
     /// Span emission with explicit before/after stats: batched submissions
@@ -416,9 +448,11 @@ impl KddEngine {
         class: HitClass,
         comp_milli: u32,
         service: SimTime,
+        stages: StageTimes,
     ) {
         let d32 = |now: u64, was: u64| u32::try_from(now.saturating_sub(was)).unwrap_or(u32::MAX);
         let mut c = Completion::new(kind, lba, class, service);
+        c.stages = stages;
         c.ssd_reads = d32(after.ssd_reads, before.ssd_reads);
         c.ssd_writes = d32(after.ssd_writes_pages(), before.ssd_writes_pages());
         c.raid_reads = d32(after.raid_reads, before.raid_reads);
@@ -497,7 +531,8 @@ impl KddEngine {
             }
             let crc = meta_page_crc(&page);
             page[10..14].copy_from_slice(&crc.to_le_bytes());
-            *t += self.ssd.write_page(batch.slot, &page)?;
+            let dt = self.ssd.write_page(batch.slot, &page)?;
+            self.charge_stage(Stage::MetalogCommit, dt, t);
             self.pool.release(page);
             self.stats.ssd_meta_writes += 1;
             // Only now is the page durable; recovery no longer needs the
@@ -618,7 +653,8 @@ impl KddEngine {
                 dir_off += 12;
                 data_off += len;
             }
-            *t += self.ssd.write_page(self.slot_lpn(slot), &page)?;
+            let dt = self.ssd.write_page(self.slot_lpn(slot), &page)?;
+            self.charge_stage(Stage::StagingCommit, dt, t);
             self.pool.release(page);
             self.stats.ssd_delta_writes += 1;
             let mut info = DezInfo::default();
@@ -692,7 +728,8 @@ impl KddEngine {
             Some(DeltaLoc::Dez(r)) => {
                 let r = *r;
                 let mut page = self.pool.acquire();
-                *t += self.ssd.read_page(self.slot_lpn(r.slot), &mut page)?;
+                let dt = self.ssd.read_page(self.slot_lpn(r.slot), &mut page)?;
+                self.charge_stage(Stage::SsdRead, dt, t);
                 // kdd-waiver(KDD006): sub-page payload handed to the caller.
                 let payload = page[r.off as usize..r.off as usize + r.len as usize].to_vec();
                 self.pool.release(page);
@@ -712,13 +749,14 @@ impl KddEngine {
     ) -> Result<Vec<u8>, EngineError> {
         // kdd-waiver(KDD006): the page is returned to the caller by value.
         let mut data = vec![0u8; self.page_size()];
-        *t += self.ssd.read_page(self.slot_lpn(slot), &mut data)?;
+        let dt = self.ssd.read_page(self.slot_lpn(slot), &mut data)?;
+        self.charge_stage(Stage::SsdRead, dt, t);
         if self.cache.state(slot) == PageState::Old {
             let comp = self.read_delta(lba, t)?;
             let delta = codec::decompress(&comp)?;
             // "it takes only tens of microseconds to decompress the delta
             // and combine it with the data" (§IV-B2).
-            *t += SimTime::from_micros(20);
+            self.charge_stage(Stage::DeltaDecode, SimTime::from_micros(20), t);
             xor_into(&mut data, &delta);
         }
         Ok(data)
@@ -847,6 +885,7 @@ impl KddEngine {
             after: CacheStats,
             class: HitClass,
             comp_milli: u32,
+            stages: StageTimes,
         }
         let observing = self.recorder.is_enabled();
         let mut times: Vec<SimTime> = Vec::with_capacity(reqs.len());
@@ -871,6 +910,7 @@ impl KddEngine {
                             after: self.stats,
                             class,
                             comp_milli: self.last_comp_milli,
+                            stages: std::mem::take(&mut self.cur_stages),
                         });
                     }
                 }
@@ -882,7 +922,9 @@ impl KddEngine {
         }
         self.meta_defer = false;
         let mut tg = SimTime::ZERO;
+        self.cur_stages = StageTimes::new();
         let flush = self.flush_group(&mut tg);
+        let flush_stages = std::mem::take(&mut self.cur_stages);
         if let Some(e) = failure {
             // The dispatch failure is the actionable error; a flush failure
             // here is a second symptom of the same fault (the pages stay on
@@ -895,12 +937,23 @@ impl KddEngine {
         }
         if let Some(last) = spans.last_mut() {
             // The group flush's meta writes belong to the batch; fold them
-            // into the final request's span.
+            // (counters and stage times alike) into the final request's
+            // span, whose service time already carries the flush cost.
             last.after = self.stats;
+            last.stages.merge(&flush_stages);
         }
         for (s, t) in spans.iter().zip(times.iter()) {
             let (before, after) = (s.before, s.after);
-            self.observe_span(ReqKind::Write, s.lba, &before, &after, s.class, s.comp_milli, *t);
+            self.observe_span(
+                ReqKind::Write,
+                s.lba,
+                &before,
+                &after,
+                s.class,
+                s.comp_milli,
+                *t,
+                s.stages,
+            );
         }
         Ok(times)
     }
@@ -932,23 +985,30 @@ impl KddEngine {
 
     /// Pass-through read straight from the RAID array.
     fn raid_read(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
+        self.cur_stages = StageTimes::new();
+        let mut t = SimTime::ZERO;
         // kdd-waiver(KDD006): the page is returned to the caller by value.
         let mut buf = vec![0u8; self.page_size()];
         let cost = self.raid.read_page(lba, &mut buf)?;
         self.charge_raid(&cost);
         self.bump(true, false);
-        Ok((buf, DISK_OP * cost.reads().max(1) as u64))
+        self.charge_stage(Stage::RaidRead, DISK_OP * cost.reads().max(1) as u64, &mut t);
+        Ok((buf, t))
     }
 
     /// Pass-through write straight to the RAID array (full parity update).
     fn raid_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
+        self.cur_stages = StageTimes::new();
+        let mut t = SimTime::ZERO;
         let cost = self.raid.write_page(lba, data)?;
         self.charge_raid(&cost);
         self.bump(false, false);
-        Ok(DISK_OP * 2 * cost.writes().max(1) as u64)
+        self.charge_stage(Stage::RaidWrite, DISK_OP * 2 * cost.writes().max(1) as u64, &mut t);
+        Ok(t)
     }
 
     fn read_inner(&mut self, lba: u64) -> Result<(Vec<u8>, SimTime), EngineError> {
+        self.cur_stages = StageTimes::new();
         let mut t = SimTime::ZERO;
         let (hit, data) = match self.cache.lookup(lba) {
             Some(slot) => {
@@ -961,7 +1021,7 @@ impl KddEngine {
                 let mut buf = vec![0u8; self.page_size()];
                 let cost = self.raid.read_page(lba, &mut buf)?;
                 self.charge_raid(&cost);
-                t += DISK_OP * cost.reads().max(1) as u64;
+                self.charge_stage(Stage::RaidRead, DISK_OP * cost.reads().max(1) as u64, &mut t);
                 self.fill_clean(lba, &buf, &mut t)?;
                 (false, buf)
             }
@@ -972,6 +1032,7 @@ impl KddEngine {
 
     fn write_inner(&mut self, lba: u64, data: &[u8]) -> Result<SimTime, EngineError> {
         assert_eq!(data.len(), self.page_size(), "writes are page-granular");
+        self.cur_stages = StageTimes::new();
         let mut t = SimTime::ZERO;
         self.last_comp_milli = 0;
         let hit = match self.cache.lookup(lba) {
@@ -981,15 +1042,17 @@ impl KddEngine {
                 self.last_class = HitClass::WriteHit;
                 self.cache.touch(slot);
                 let mut delta = self.pool.acquire();
-                t += self.ssd.read_page(self.slot_lpn(slot), &mut delta)?;
+                let dt = self.ssd.read_page(self.slot_lpn(slot), &mut delta)?;
+                self.charge_stage(Stage::SsdRead, dt, &mut t);
                 xor_into(&mut delta, data); // base ⊕ new
                 let comp = self.codec.compress(&delta);
                 self.last_comp_milli = ((comp.len() * 1000) / self.page_size()) as u32;
                 self.pool.release(delta);
-                t += SimTime::from_micros(30); // compression CPU cost
-                                               // A delta must fit a DEZ page alongside its directory
-                                               // record; pages that XOR-compress worse than that are
-                                               // treated as incompressible (full write-through below).
+                // Compression CPU cost.
+                self.charge_stage(Stage::DeltaEncode, SimTime::from_micros(30), &mut t);
+                // A delta must fit a DEZ page alongside its directory
+                // record; pages that XOR-compress worse than that are
+                // treated as incompressible (full write-through below).
                 let compressible = comp.len() + 14 <= self.page_size()
                     && comp.len() as u32 <= self.nv.get().staging.capacity_bytes();
                 if compressible && !self.nv.get().staging.fits(lba, &comp) {
@@ -1021,7 +1084,11 @@ impl KddEngine {
                         Ok(cost) => {
                             self.charge_raid(&cost);
                             self.last_class = HitClass::WriteHitDelta;
-                            t += DISK_OP * cost.writes() as u64;
+                            self.charge_stage(
+                                Stage::RaidWrite,
+                                DISK_OP * cost.writes() as u64,
+                                &mut t,
+                            );
                             if self.cache.state(slot) == PageState::Clean {
                                 self.cache.set_state(slot, PageState::Old);
                             }
@@ -1064,7 +1131,11 @@ impl KddEngine {
                     let cost = self.raid.write_page(lba, data)?;
                     self.charge_raid(&cost);
                     self.last_class = HitClass::WriteHitThrough;
-                    t += DISK_OP * 2 * cost.writes().max(1) as u64;
+                    self.charge_stage(
+                        Stage::RaidWrite,
+                        DISK_OP * 2 * cost.writes().max(1) as u64,
+                        &mut t,
+                    );
                     // Tombstone the old mapping before reclaiming its
                     // flash copies, then re-insert the new version clean.
                     // A crash in between leaves the lba uncached with the
@@ -1106,7 +1177,8 @@ impl KddEngine {
         self.clean_row(row, t)?;
         let cost = self.raid.write_page(lba, data)?;
         self.charge_raid(&cost);
-        *t += DISK_OP * 2; // read round + write round
+        // Read round + write round.
+        self.charge_stage(Stage::RaidWrite, DISK_OP * 2, t);
         self.fill_clean(lba, data, t)
     }
 
@@ -1114,7 +1186,8 @@ impl KddEngine {
         loop {
             match self.cache.insert(lba, PageState::Clean, |s| s == PageState::Clean) {
                 InsertOutcome::Inserted { slot } => {
-                    *t += self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    let dt = self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    self.charge_stage(Stage::SsdWrite, dt, t);
                     self.stats.ssd_data_writes += 1;
                     self.log_entry(
                         MapEntry { lba_raid: lba, slot, state: EntryState::Clean, dez: None },
@@ -1128,7 +1201,8 @@ impl KddEngine {
                         MapEntry { lba_raid: victim_lba, slot, state: EntryState::Free, dez: None },
                         t,
                     )?;
-                    *t += self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    let dt = self.ssd.write_page(self.slot_lpn(slot), data)?;
+                    self.charge_stage(Stage::SsdWrite, dt, t);
                     self.stats.ssd_data_writes += 1;
                     self.log_entry(
                         MapEntry { lba_raid: lba, slot, state: EntryState::Clean, dez: None },
@@ -1297,7 +1371,8 @@ impl KddEngine {
                 dir_off += 12;
                 data_off += len;
             }
-            *t += self.ssd.write_page(self.slot_lpn(dst), &page)?;
+            let dt = self.ssd.write_page(self.slot_lpn(dst), &page)?;
+            self.charge_stage(Stage::StagingCommit, dt, t);
             self.pool.release(page);
             self.stats.ssd_delta_writes += 1;
             self.dez.insert(dst, info);
@@ -1326,8 +1401,19 @@ impl KddEngine {
 
     /// The cleaning pass (§III-D): repair every stale row (reconstruct-
     /// write when the whole row is cached, read-modify-write otherwise),
-    /// then reclaim *old* pages and invalidate their deltas.
+    /// then reclaim *old* pages and invalidate their deltas. Recorded as
+    /// a first-class background span (`cleaner_pass`) with its own stage
+    /// breakdown, isolated from any in-flight request's accumulator.
     pub fn clean(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        let saved = std::mem::take(&mut self.cur_stages);
+        let t0 = *t;
+        let result = self.clean_pass(t);
+        let used = std::mem::replace(&mut self.cur_stages, saved);
+        self.note_background(Stage::CleanerPass, t.saturating_sub(t0), used);
+        result
+    }
+
+    fn clean_pass(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
         let rows: Vec<u64> = self.pending_rows.row_ids();
         for row in rows {
             self.clean_row(row, t)?;
@@ -1357,7 +1443,7 @@ impl KddEngine {
                 let refs: Vec<&[u8]> = datas.iter().map(|d| d.as_slice()).collect();
                 let cost = self.raid.parity_update_with_data(row, &refs)?;
                 self.charge_raid(&cost);
-                *t += DISK_OP * cost.writes() as u64;
+                self.charge_stage(Stage::ParityRmw, DISK_OP * cost.writes() as u64, t);
             } else {
                 // RMW: fold each pending page's decompressed delta.
                 let pend: Vec<u64> = self.pending_rows.take_row(row).into_iter().collect();
@@ -1386,7 +1472,7 @@ impl KddEngine {
                     Err(e) => return Err(e.into()),
                 };
                 self.charge_raid(&cost);
-                *t += DISK_OP * cost.ops.len() as u64;
+                self.charge_stage(Stage::ParityRmw, DISK_OP * cost.ops.len() as u64, t);
             }
             self.stats.parity_updates += 1;
         }
@@ -1412,14 +1498,25 @@ impl KddEngine {
     }
 
     /// Flush everything: clean all rows, commit staged deltas, flush the
-    /// metadata buffer to flash.
+    /// metadata buffer to flash. The cleaning pass records its own
+    /// background span; the staging + metalog tail is recorded as a
+    /// `group_commit_flush` background span.
     pub fn flush(&mut self) -> Result<SimTime, EngineError> {
         let mut t = SimTime::ZERO;
         self.clean(&mut t)?;
-        self.commit_staging(&mut t)?;
-        let batches = self.metalog.flush();
-        self.persist_batches(batches, &mut t)?;
+        let saved = std::mem::take(&mut self.cur_stages);
+        let t0 = t;
+        let result = self.flush_tail(&mut t);
+        let used = std::mem::replace(&mut self.cur_stages, saved);
+        self.note_background(Stage::GroupCommitFlush, t.saturating_sub(t0), used);
+        result?;
         Ok(t)
+    }
+
+    fn flush_tail(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
+        self.commit_staging(t)?;
+        let batches = self.metalog.flush();
+        self.persist_batches(batches, t)
     }
 
     // ---- failure handling (§III-E) ----------------------------------------
@@ -1651,6 +1748,7 @@ impl KddEngine {
             codec: codec::Compressor::new(),
             meta_defer: false,
             meta_pending: Vec::new(),
+            cur_stages: StageTimes::new(),
         })
     }
 
@@ -1659,11 +1757,20 @@ impl KddEngine {
     /// dispatched to RAID), and a fresh SSD comes up empty. No data loss:
     /// RPO 0.
     pub fn recover_from_ssd_failure(&mut self) -> Result<SimTime, EngineError> {
+        let saved = std::mem::take(&mut self.cur_stages);
         let mut t = SimTime::ZERO;
+        let result = self.rebuild_after_ssd_loss(&mut t);
+        let used = std::mem::replace(&mut self.cur_stages, saved);
+        self.note_background(Stage::RaidReconstruct, t, used);
+        result?;
+        Ok(t)
+    }
+
+    fn rebuild_after_ssd_loss(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
         self.ssd.fail();
         let cost = self.raid.resync(None)?;
         self.charge_raid(&cost);
-        t += DISK_OP * cost.ops.len() as u64;
+        self.charge_stage(Stage::RaidReconstruct, DISK_OP * cost.ops.len() as u64, t);
         self.ssd.replace();
         let grouping = kdd_cache::setassoc::SetGrouping::ParityRow {
             chunk_pages: self.raid.layout().chunk_pages,
@@ -1679,7 +1786,7 @@ impl KddEngine {
         self.delta_loc.clear();
         self.dez.clear();
         self.pending_rows = PendingRows::default();
-        Ok(t)
+        Ok(())
     }
 
     /// HDD failure (§III-E2): "KDD first updates all parity blocks using
@@ -1689,10 +1796,21 @@ impl KddEngine {
         let mut t = SimTime::ZERO;
         self.raid.fail_disk(disk);
         self.clean(&mut t)?;
+        let saved = std::mem::take(&mut self.cur_stages);
+        let t0 = t;
+        let result = self.rebuild_failed_disk(&mut t);
+        let used = std::mem::replace(&mut self.cur_stages, saved);
+        self.note_background(Stage::RaidReconstruct, t.saturating_sub(t0), used);
+        result?;
+        Ok(t)
+    }
+
+    fn rebuild_failed_disk(&mut self, t: &mut SimTime) -> Result<(), EngineError> {
         let cost = self.raid.rebuild()?;
         self.charge_raid(&cost);
-        t += DISK_OP * (cost.ops.len() as u64 / self.raid.layout().disks as u64).max(1);
-        Ok(t)
+        let dt = DISK_OP * (cost.ops.len() as u64 / self.raid.layout().disks as u64).max(1);
+        self.charge_stage(Stage::RaidReconstruct, dt, t);
+        Ok(())
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The vendored `serde_json` stand-in renders Debug output, which is not
 //! parseable JSON, so every machine-readable artifact in the workspace
-//! (the `kdd-obs/v1` snapshots here, the `kdd-perfbench/v1` trajectory
+//! (the `kdd-obs` snapshots here, the `kdd-perfbench/v1` trajectory
 //! files in `kdd-bench`) goes through this module instead: objects,
 //! arrays, strings, f64 numbers and booleans — exactly the subset those
 //! schemas use. Objects render from a `BTreeMap`, so the same document

@@ -9,10 +9,18 @@
 //!   by `&'static str` (no `String` allocation on hot paths), exported in
 //!   `BTreeMap` order for byte-stable output;
 //! * [`ring`] — structured I/O lifecycle spans ([`Completion`] →
-//!   [`SpanEvent`]) captured into a bounded [`SpanRing`];
+//!   [`SpanEvent`]) and first-class background spans captured into a
+//!   bounded [`SpanRing`];
+//! * [`stage`] — the [`Stage`] taxonomy and the [`StageTimes`]
+//!   accumulator attributing each span's service time to child stages
+//!   (latency attribution, `kdd-obs/v2`);
 //! * [`snapshot`] — periodic [`Sample`]s keyed on *simulated* time and
-//!   the versioned `kdd-obs/v1` snapshot document, validated by
-//!   [`validate_snapshot`].
+//!   the versioned snapshot document, validated by [`validate_snapshot`]
+//!   (v1 and v2 accepted);
+//! * [`trace`] — a deterministic Chrome trace-event / Perfetto exporter
+//!   over the span ring ([`trace_events`]);
+//! * [`diff`] — the thresholded snapshot differ behind `kddtool
+//!   obs-diff` ([`diff_snapshots`]).
 //!
 //! Everything funnels through a cloneable [`Recorder`] handle that
 //! defaults to a no-op sink: when disabled, each call is one branch on an
@@ -24,20 +32,29 @@
 //! export via [`frac`]. Two seeded replays therefore produce
 //! byte-identical snapshots.
 
+pub mod diff;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod ring;
 pub mod snapshot;
+pub mod stage;
+pub mod trace;
 
+pub use diff::{diff_snapshots, DiffEntry, DiffOptions, DiffReport};
 pub use json::Json;
 pub use recorder::{Recorder, RecorderConfig};
 pub use registry::{CounterId, GaugeId, HistId, Log2Hist, Registry};
-pub use ring::{Completion, HitClass, ReqKind, SpanEvent, SpanRing};
+pub use ring::{BackgroundSpan, Completion, HitClass, ReqKind, SpanBody, SpanEvent, SpanRing};
 pub use snapshot::{validate_snapshot, CacheCounters, Sample};
+pub use stage::{Stage, StageGuard, StageTimes};
+pub use trace::trace_events;
 
 /// Schema identifier stamped into every snapshot document.
-pub const SCHEMA: &str = "kdd-obs/v1";
+pub const SCHEMA: &str = "kdd-obs/v2";
+
+/// The previous schema version, still accepted by [`validate_snapshot`].
+pub const SCHEMA_V1: &str = "kdd-obs/v1";
 
 /// The one place ratio math lives: `num / den`, returning 0.0 uniformly
 /// when the denominator is zero. `CacheStats::hit_ratio`,

@@ -3,8 +3,9 @@
 //! A recorder is either *disabled* — the default, a `None` inside, so
 //! every call is a branch and an immediate return — or *enabled*, a
 //! shared handle (`Arc<Mutex<..>>`, mirroring `FaultInjector`) over the
-//! metrics registry, span ring and sample timeseries. The mutex is
-//! poison-recovering: observability must never take down an I/O path.
+//! metrics registry, span ring, per-stage latency histograms and sample
+//! timeseries. The mutex is poison-recovering: observability must never
+//! take down an I/O path.
 //!
 //! All time here is *simulated* time supplied by the instrumented
 //! component; the recorder never reads a clock itself (KDD003/KDD007).
@@ -12,9 +13,11 @@
 use crate::frac;
 use crate::json::{obj, Json};
 use crate::registry::{CounterId, GaugeId, HistId, Log2Hist, Registry};
-use crate::ring::{Completion, ReqKind, SpanEvent, SpanRing};
+use crate::ring::{BackgroundSpan, Completion, ReqKind, SpanBody, SpanEvent, SpanRing};
 use crate::snapshot::{CacheCounters, Sample};
+use crate::stage::{Stage, StageGuard, StageTimes};
 use kdd_util::SimTime;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Configuration for an enabled recorder.
@@ -56,6 +59,7 @@ struct Ids {
     torn_pages: CounterId,
     // Recorder-owned counters.
     requests: CounterId,
+    background_spans: CounterId,
     // Gauges refreshed from the latest sample.
     backlog_rows: GaugeId,
     stale_rows: GaugeId,
@@ -93,6 +97,7 @@ impl Ids {
             fault_fallbacks: r.register_counter("faults.fallbacks"),
             torn_pages: r.register_counter("recovery.torn_pages"),
             requests: r.register_counter("obs.requests"),
+            background_spans: r.register_counter("obs.background_spans"),
             backlog_rows: r.register_gauge("cleaner.backlog_rows"),
             stale_rows: r.register_gauge("raid.stale_rows"),
             staged_deltas: r.register_gauge("nvram.staged_deltas"),
@@ -114,6 +119,9 @@ struct ObsCore {
     registry: Registry,
     ids: Ids,
     ring: SpanRing,
+    /// Per-stage latency histograms indexed by [`Stage::index`]: one
+    /// observation per span that charged the stage, in nanoseconds.
+    stage_hists: Vec<Log2Hist>,
     samples: Vec<Sample>,
     interval: SimTime,
     now: SimTime,
@@ -122,6 +130,14 @@ struct ObsCore {
 }
 
 impl ObsCore {
+    fn observe_stages(&mut self, stages: &StageTimes) {
+        for (stage, ns) in stages.iter_nonzero() {
+            if let Some(h) = self.stage_hists.get_mut(stage.index()) {
+                h.observe(ns);
+            }
+        }
+    }
+
     fn note(&mut self, c: Completion, enter: SimTime, exit: SimTime) -> bool {
         self.seq += 1;
         self.registry.add(self.ids.requests, 1);
@@ -132,7 +148,21 @@ impl ObsCore {
         if c.comp_milli > 0 {
             self.registry.observe(self.ids.comp_milli, u64::from(c.comp_milli));
         }
-        self.ring.push(SpanEvent { seq: self.seq, enter, exit, completion: c });
+        self.observe_stages(&c.stages);
+        self.ring.push(SpanEvent { seq: self.seq, enter, exit, body: SpanBody::Request(c) });
+        self.now >= self.next_sample
+    }
+
+    fn note_background(&mut self, b: BackgroundSpan, enter: SimTime, exit: SimTime) -> bool {
+        self.seq += 1;
+        self.registry.add(self.ids.background_spans, 1);
+        // The wrapper itself is an observation of its own stage; the
+        // inner breakdown lands in the per-stage histograms too.
+        if let Some(h) = self.stage_hists.get_mut(b.stage.index()) {
+            h.observe(b.service.as_nanos());
+        }
+        self.observe_stages(&b.stages);
+        self.ring.push(SpanEvent { seq: self.seq, enter, exit, body: SpanBody::Background(b) });
         self.now >= self.next_sample
     }
 
@@ -183,6 +213,20 @@ impl ObsCore {
             ("metalog.occupancy", Json::Num(frac(fin.metalog_pages_used, fin.metalog_pages_total))),
         ])
     }
+
+    /// Export the per-stage table: every declared stage (stable schema),
+    /// each as its `Log2Hist` `{count, sum, max, buckets}` where `sum` is
+    /// total simulated nanoseconds charged to the stage.
+    fn export_stages(&self) -> Json {
+        let map: BTreeMap<String, Json> = Stage::ALL
+            .into_iter()
+            .map(|s| {
+                let hist = self.stage_hists.get(s.index()).cloned().unwrap_or_default().export();
+                (s.as_str().to_string(), hist)
+            })
+            .collect();
+        Json::Obj(map)
+    }
 }
 
 /// Cloneable handle to the observability sink. The default is disabled:
@@ -208,6 +252,7 @@ impl Recorder {
             registry,
             ids,
             ring: SpanRing::new(config.ring_capacity),
+            stage_hists: vec![Log2Hist::new(); Stage::COUNT],
             samples: Vec::new(),
             interval,
             now: SimTime::ZERO,
@@ -224,6 +269,22 @@ impl Recorder {
 
     fn lock<'a>(core: &'a Arc<Mutex<ObsCore>>) -> std::sync::MutexGuard<'a, ObsCore> {
         core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stage guard: attribute every advance of `clock` inside the guarded
+    /// scope to `stage` in `times`. Pure accumulator arithmetic — cheap
+    /// whether or not the recorder is enabled, so instrumented components
+    /// can wrap hot paths unconditionally and hand the accumulated
+    /// [`StageTimes`] to [`Recorder::record`] (inside a
+    /// [`Completion`]) or [`Recorder::record_background`] when the
+    /// request completes.
+    pub fn stage<'a>(
+        &self,
+        stage: Stage,
+        clock: &'a mut SimTime,
+        times: &'a mut StageTimes,
+    ) -> StageGuard<'a> {
+        times.guard(stage, clock)
     }
 
     /// Record a completion using the recorder's internal simulated clock:
@@ -247,6 +308,20 @@ impl Recorder {
         let mut g = Self::lock(core);
         g.now = SimTime(g.now.0.max(exit.0));
         g.note(c, enter, exit)
+    }
+
+    /// Record a background span (cleaner pass, group-commit flush,
+    /// recovery) of duration `service` starting at the recorder's current
+    /// clock, with `stages` attributing the work inside it. Advances the
+    /// internal clock like [`Recorder::record`]. Returns true when a
+    /// periodic sample is due.
+    pub fn record_background(&self, stage: Stage, service: SimTime, stages: StageTimes) -> bool {
+        let Some(core) = &self.inner else { return false };
+        let mut g = Self::lock(core);
+        let enter = g.now;
+        let exit = SimTime(enter.0.saturating_add(service.0));
+        g.now = exit;
+        g.note_background(BackgroundSpan { stage, service, stages }, enter, exit)
     }
 
     /// Append a timeseries sample and schedule the next one.
@@ -277,7 +352,7 @@ impl Recorder {
         Self::lock(core).sync_cache(c);
     }
 
-    /// Export the full `kdd-obs/v1` snapshot. `fin` is the final sample
+    /// Export the full `kdd-obs/v2` snapshot. `fin` is the final sample
     /// (always appended to the timeseries and used to refresh gauges and
     /// derived ratios); `wear` is the per-block erase-count histogram.
     /// Returns `None` on a disabled recorder. Idempotent: exporting twice
@@ -296,6 +371,7 @@ impl Recorder {
         Some(obj(vec![
             ("schema", Json::Str(crate::SCHEMA.to_string())),
             ("totals", totals),
+            ("stages", g.export_stages()),
             ("timeseries", Json::Arr(timeseries)),
             ("wear", wear.export()),
             ("spans", g.ring.export()),
@@ -318,6 +394,7 @@ mod tests {
         let r = Recorder::disabled();
         assert!(!r.is_enabled());
         assert!(!r.record(completion(1, SimTime(100))));
+        assert!(!r.record_background(Stage::CleanerPass, SimTime(50), StageTimes::new()));
         assert!(!r.sample_due());
         assert!(r.export(&Sample::default(), &Log2Hist::new()).is_none());
     }
@@ -355,5 +432,58 @@ mod tests {
         assert_eq!(validate_snapshot(&doc), Vec::<String>::new());
         let derived = doc.get("totals").and_then(|t| t.get("derived")).expect("derived");
         assert_eq!(derived.get("ssd.waf").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn stage_charges_land_in_the_stage_table_and_span() {
+        let r = Recorder::new(RecorderConfig::default());
+        let mut c = completion(9, SimTime::from_micros(46));
+        c.stages.add(Stage::DeltaEncode, SimTime::from_micros(30));
+        c.stages.add(Stage::RaidWrite, SimTime::from_micros(16));
+        r.record(c);
+        let mut bg = StageTimes::new();
+        bg.add(Stage::ParityRmw, SimTime::from_micros(24));
+        r.record_background(Stage::CleanerPass, SimTime::from_micros(24), bg);
+        let doc = r.export(&Sample { at: r.now(), ..Sample::default() }, &Log2Hist::new());
+        let doc = doc.expect("enabled");
+        let stages = doc.get("stages").expect("stages table");
+        let sum = |name: &str| {
+            stages.get(name).and_then(|h| h.get("sum")).and_then(Json::as_f64).unwrap_or(-1.0)
+        };
+        assert_eq!(sum("delta_encode"), 30_000.0);
+        assert_eq!(sum("raid_write"), 16_000.0);
+        assert_eq!(sum("parity_rmw"), 24_000.0);
+        assert_eq!(sum("cleaner_pass"), 24_000.0);
+        assert_eq!(sum("cache_lookup"), 0.0, "declared stages export even when idle");
+        // The background span rides the same ring with the stage name as
+        // its class, and the request span carries its stage breakdown.
+        let events = doc.get("spans").and_then(|s| s.get("events")).and_then(Json::as_arr);
+        let events = events.expect("events");
+        assert_eq!(events.len(), 2);
+        let req = events.first().expect("request span");
+        assert_eq!(
+            req.get("stages").and_then(|s| s.get("delta_encode")).and_then(Json::as_f64),
+            Some(30_000.0)
+        );
+        let bg = events.get(1).expect("background span");
+        assert_eq!(bg.get("kind").and_then(Json::as_str), Some("background"));
+        assert_eq!(bg.get("class").and_then(Json::as_str), Some("cleaner_pass"));
+        // Counter split: one request, one background span.
+        let counters = doc.get("totals").and_then(|t| t.get("counters")).expect("counters");
+        assert_eq!(counters.get("obs.requests").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counters.get("obs.background_spans").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn recorder_stage_guard_accumulates_into_times() {
+        let r = Recorder::disabled();
+        let mut times = StageTimes::new();
+        let mut t = SimTime::ZERO;
+        {
+            let mut g = r.stage(Stage::MetalogCommit, &mut t, &mut times);
+            *g.clock() += SimTime::from_micros(8);
+        }
+        assert_eq!(times.get(Stage::MetalogCommit), 8_000);
+        assert_eq!(t, SimTime::from_micros(8));
     }
 }

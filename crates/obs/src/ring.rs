@@ -2,12 +2,15 @@
 //!
 //! Each engine/simulator request produces one [`Completion`]; the
 //! recorder stamps it with simulated-time enter/exit and a sequence
-//! number to form a [`SpanEvent`]. Events land in a fixed-capacity
-//! [`SpanRing`] — the newest N survive, and the number of overwritten
-//! events is reported so a truncated trace is never mistaken for a
-//! complete one.
+//! number to form a [`SpanEvent`]. Background work that belongs to no
+//! single request — cleaner passes, deferred metalog group flushes,
+//! recovery — is captured as first-class [`BackgroundSpan`]s on the same
+//! ring. Events land in a fixed-capacity [`SpanRing`] — the newest N
+//! survive, and the number of overwritten events is reported so a
+//! truncated trace is never mistaken for a complete one.
 
 use crate::json::{obj, Json};
+use crate::stage::{Stage, StageTimes};
 use kdd_util::SimTime;
 
 /// Direction of a request.
@@ -91,11 +94,14 @@ pub struct Completion {
     pub faults: u32,
     /// Retries performed while serving this request.
     pub retries: u32,
+    /// Per-stage attribution of the service time (child spans). The sum
+    /// never exceeds `service` — the conservation invariant.
+    pub stages: StageTimes,
 }
 
 impl Completion {
     /// A zeroed completion for `kind`/`lba`/`class`/`service`; callers
-    /// fill in the traffic and fault fields they know.
+    /// fill in the traffic, fault and stage fields they know.
     pub fn new(kind: ReqKind, lba: u64, class: HitClass, service: SimTime) -> Self {
         Completion {
             kind,
@@ -109,43 +115,88 @@ impl Completion {
             comp_milli: 0,
             faults: 0,
             retries: 0,
+            stages: StageTimes::new(),
         }
     }
 }
 
-/// A completion stamped with its position in the request stream.
+/// One unit of background work (no owning request): a cleaner pass, a
+/// deferred group-commit flush, a recovery action. The `stage` names the
+/// wrapper; `stages` attributes the time spent inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundSpan {
+    /// The background stage this span represents.
+    pub stage: Stage,
+    /// Simulated duration of the pass.
+    pub service: SimTime,
+    /// Per-stage attribution of the work done inside the pass.
+    pub stages: StageTimes,
+}
+
+/// What a span on the ring describes: a host request or background work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanBody {
+    /// A completed host request.
+    Request(Completion),
+    /// A completed background pass.
+    Background(BackgroundSpan),
+}
+
+/// A span stamped with its position in the event stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanEvent {
-    /// 1-based request sequence number.
+    /// 1-based event sequence number (requests and background spans share
+    /// one sequence).
     pub seq: u64,
-    /// Simulated time the request entered the engine.
+    /// Simulated time the work started.
     pub enter: SimTime,
-    /// Simulated time the request completed.
+    /// Simulated time the work completed.
     pub exit: SimTime,
-    /// The request's completion record.
-    pub completion: Completion,
+    /// What the span describes.
+    pub body: SpanBody,
 }
 
 impl SpanEvent {
-    /// Export as a flat JSON object.
+    /// The request completion, when this span is one.
+    pub fn completion(&self) -> Option<&Completion> {
+        match &self.body {
+            SpanBody::Request(c) => Some(c),
+            SpanBody::Background(_) => None,
+        }
+    }
+
+    /// Export as a flat JSON object. Requests carry the full traffic
+    /// breakdown; background spans carry `kind: "background"` and use the
+    /// stage name as their class.
     pub fn export(&self) -> Json {
-        let c = &self.completion;
-        obj(vec![
-            ("seq", Json::Num(self.seq as f64)),
-            ("enter_ns", Json::Num(self.enter.as_nanos() as f64)),
-            ("exit_ns", Json::Num(self.exit.as_nanos() as f64)),
-            ("kind", Json::Str(c.kind.as_str().to_string())),
-            ("lba", Json::Num(c.lba as f64)),
-            ("class", Json::Str(c.class.as_str().to_string())),
-            ("service_ns", Json::Num(c.service.as_nanos() as f64)),
-            ("ssd_reads", Json::Num(f64::from(c.ssd_reads))),
-            ("ssd_writes", Json::Num(f64::from(c.ssd_writes))),
-            ("raid_reads", Json::Num(f64::from(c.raid_reads))),
-            ("raid_writes", Json::Num(f64::from(c.raid_writes))),
-            ("comp_milli", Json::Num(f64::from(c.comp_milli))),
-            ("faults", Json::Num(f64::from(c.faults))),
-            ("retries", Json::Num(f64::from(c.retries))),
-        ])
+        match &self.body {
+            SpanBody::Request(c) => obj(vec![
+                ("seq", Json::Num(self.seq as f64)),
+                ("enter_ns", Json::Num(self.enter.as_nanos() as f64)),
+                ("exit_ns", Json::Num(self.exit.as_nanos() as f64)),
+                ("kind", Json::Str(c.kind.as_str().to_string())),
+                ("lba", Json::Num(c.lba as f64)),
+                ("class", Json::Str(c.class.as_str().to_string())),
+                ("service_ns", Json::Num(c.service.as_nanos() as f64)),
+                ("ssd_reads", Json::Num(f64::from(c.ssd_reads))),
+                ("ssd_writes", Json::Num(f64::from(c.ssd_writes))),
+                ("raid_reads", Json::Num(f64::from(c.raid_reads))),
+                ("raid_writes", Json::Num(f64::from(c.raid_writes))),
+                ("comp_milli", Json::Num(f64::from(c.comp_milli))),
+                ("faults", Json::Num(f64::from(c.faults))),
+                ("retries", Json::Num(f64::from(c.retries))),
+                ("stages", c.stages.export()),
+            ]),
+            SpanBody::Background(b) => obj(vec![
+                ("seq", Json::Num(self.seq as f64)),
+                ("enter_ns", Json::Num(self.enter.as_nanos() as f64)),
+                ("exit_ns", Json::Num(self.exit.as_nanos() as f64)),
+                ("kind", Json::Str("background".to_string())),
+                ("class", Json::Str(b.stage.as_str().to_string())),
+                ("service_ns", Json::Num(b.service.as_nanos() as f64)),
+                ("stages", b.stages.export()),
+            ]),
+        }
     }
 }
 
@@ -196,6 +247,11 @@ impl SpanRing {
         self.pushed.saturating_sub(self.events.len() as u64)
     }
 
+    /// Ring capacity (events retained once full).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// Iterate the retained events oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
         let split = if self.events.len() < self.cap { 0 } else { self.next };
@@ -206,11 +262,12 @@ impl SpanRing {
         tail.iter().chain(head.iter())
     }
 
-    /// Export as `{pushed, dropped, events: [...]}`.
+    /// Export as `{pushed, dropped, capacity, events: [...]}`.
     pub fn export(&self) -> Json {
         obj(vec![
             ("pushed", Json::Num(self.pushed as f64)),
             ("dropped", Json::Num(self.dropped() as f64)),
+            ("capacity", Json::Num(self.cap as f64)),
             ("events", Json::Arr(self.iter().map(SpanEvent::export).collect())),
         ])
     }
@@ -225,7 +282,12 @@ mod tests {
             seq,
             enter: SimTime(seq * 10),
             exit: SimTime(seq * 10 + 5),
-            completion: Completion::new(ReqKind::Read, seq, HitClass::ReadHit, SimTime(5)),
+            body: SpanBody::Request(Completion::new(
+                ReqKind::Read,
+                seq,
+                HitClass::ReadHit,
+                SimTime(5),
+            )),
         }
     }
 
@@ -260,5 +322,29 @@ mod tests {
         r.push(ev(2));
         assert_eq!(r.len(), 1);
         assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn background_spans_export_stage_name_as_class() {
+        let mut stages = StageTimes::new();
+        stages.add(Stage::ParityRmw, SimTime::from_micros(40));
+        let e = SpanEvent {
+            seq: 7,
+            enter: SimTime(100),
+            exit: SimTime(40_100),
+            body: SpanBody::Background(BackgroundSpan {
+                stage: Stage::CleanerPass,
+                service: SimTime(40_000),
+                stages,
+            }),
+        };
+        let doc = e.export();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("background"));
+        assert_eq!(doc.get("class").and_then(Json::as_str), Some("cleaner_pass"));
+        assert_eq!(
+            doc.get("stages").and_then(|s| s.get("parity_rmw")).and_then(Json::as_f64),
+            Some(40_000.0)
+        );
+        assert!(doc.get("lba").is_none(), "background spans have no request fields");
     }
 }

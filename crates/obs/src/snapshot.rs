@@ -1,4 +1,4 @@
-//! Periodic samples and the `kdd-obs/v1` snapshot schema.
+//! Periodic samples and the versioned `kdd-obs` snapshot schema.
 //!
 //! A [`Sample`] is an all-integer point-in-time reading of the stack —
 //! cache traffic, SSD endurance, stale-parity backlog, metadata-log
@@ -122,21 +122,61 @@ impl Sample {
     }
 }
 
-/// Top-level keys every `kdd-obs/v1` snapshot must carry.
+/// Top-level keys every `kdd-obs/v1` snapshot must carry. `kdd-obs/v2`
+/// additionally requires the `stages` table ([`V2_ONLY_KEYS`]).
 pub const REQUIRED_KEYS: &[&str] = &["schema", "totals", "timeseries", "wear", "spans"];
 
-/// Validate a `kdd-obs/v1` snapshot document: schema stamp, required
-/// top-level keys, metric tables under `totals`, and a non-empty
-/// timeseries. Returns a list of problems (empty = valid).
+/// Top-level keys required by `kdd-obs/v2` on top of [`REQUIRED_KEYS`].
+pub const V2_ONLY_KEYS: &[&str] = &["stages"];
+
+/// Schema versions [`validate_snapshot`] accepts.
+pub const ACCEPTED_SCHEMAS: &[&str] = &[crate::SCHEMA_V1, crate::SCHEMA];
+
+/// Validate a `kdd-obs` snapshot document: schema stamp, required
+/// top-level keys, metric tables under `totals`, per-stage tables (v2),
+/// and a non-empty timeseries. Returns a list of problems (empty =
+/// valid).
+///
+/// Both `kdd-obs/v1` and `kdd-obs/v2` documents are accepted, each
+/// checked against its own key set. Any other schema stamp returns a
+/// single "schema version mismatch" diagnostic naming the accepted
+/// versions — not a misleading field-by-field failure list for a
+/// document we never understood in the first place.
 pub fn validate_snapshot(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == crate::SCHEMA => {}
-        other => problems.push(format!("schema: expected {:?}, got {other:?}", crate::SCHEMA)),
-    }
+    let schema = doc.get("schema").and_then(Json::as_str);
+    let v2 = match schema {
+        Some(s) if s == crate::SCHEMA => true,
+        Some(s) if s == crate::SCHEMA_V1 => false,
+        other => {
+            return vec![format!(
+                "schema version mismatch: found {other:?}, accepted versions are {:?} and {:?}",
+                crate::SCHEMA_V1,
+                crate::SCHEMA
+            )];
+        }
+    };
     for key in REQUIRED_KEYS {
         if doc.get(key).is_none() {
             problems.push(format!("{key}: missing"));
+        }
+    }
+    if v2 {
+        for key in V2_ONLY_KEYS {
+            if doc.get(key).is_none() {
+                problems.push(format!("{key}: missing (required by {})", crate::SCHEMA));
+            }
+        }
+        if let Some(Json::Obj(stages)) = doc.get("stages") {
+            for (name, hist) in stages {
+                for field in ["count", "sum", "max", "buckets"] {
+                    if hist.get(field).is_none() {
+                        problems.push(format!("stages.{name}.{field}: missing"));
+                    }
+                }
+            }
+        } else if doc.get("stages").is_some() {
+            problems.push("stages: not an object".to_string());
         }
     }
     if let Some(totals) = doc.get("totals") {
@@ -181,12 +221,36 @@ mod tests {
 
     #[test]
     fn validator_flags_missing_keys() {
-        let doc = crate::json::parse(r#"{"schema": "bogus/v0", "totals": {}}"#).expect("parse");
+        let text = format!(r#"{{"schema": "{}", "totals": {{}}}}"#, crate::SCHEMA);
+        let doc = crate::json::parse(&text).expect("parse");
         let problems = validate_snapshot(&doc);
-        assert!(problems.iter().any(|p| p.contains("schema")));
         assert!(problems.iter().any(|p| p.contains("timeseries: missing")));
         assert!(problems.iter().any(|p| p.contains("wear: missing")));
         assert!(problems.iter().any(|p| p.contains("spans: missing")));
+        assert!(problems.iter().any(|p| p.contains("stages: missing")));
         assert!(problems.iter().any(|p| p.contains("totals.counters")));
+    }
+
+    #[test]
+    fn unknown_schema_yields_one_named_version_mismatch() {
+        let doc = crate::json::parse(r#"{"schema": "bogus/v0", "totals": {}}"#).expect("parse");
+        let problems = validate_snapshot(&doc);
+        assert_eq!(problems.len(), 1, "no field-list noise for a foreign document");
+        let p = problems.first().expect("one problem");
+        assert!(p.contains("schema version mismatch"), "got: {p}");
+        assert!(p.contains("bogus/v0") && p.contains("kdd-obs/v1") && p.contains("kdd-obs/v2"));
+    }
+
+    #[test]
+    fn v1_documents_are_still_accepted_without_stages() {
+        let text = r#"{
+            "schema": "kdd-obs/v1",
+            "totals": {"counters": {}, "gauges": {}, "hists": {}, "derived": {}},
+            "timeseries": [{"at_ns": 0}],
+            "wear": {"count": 0, "sum": 0, "max": 0, "buckets": []},
+            "spans": {"pushed": 0, "dropped": 0, "events": []}
+        }"#;
+        let doc = crate::json::parse(text).expect("parse");
+        assert_eq!(validate_snapshot(&doc), Vec::<String>::new());
     }
 }

@@ -18,7 +18,7 @@ use kdd_cache::policies::CachePolicy;
 use kdd_cache::stats::CacheStats;
 use kdd_core::engine::{EngineError, KddEngine, WriteRequest};
 use kdd_delta::content::PageMutator;
-use kdd_obs::Recorder;
+use kdd_obs::{Recorder, Stage};
 use kdd_trace::fio::FioWorkload;
 use kdd_trace::record::Op;
 use kdd_util::stats::{Histogram, StreamingStats};
@@ -85,12 +85,9 @@ pub fn run_closed_loop_observed(
         };
         let outcome = policy.access(op, lba);
         let fx = outcome.foreground;
-        let ssd_cpu = model.response_time(&kdd_cache::effects::Effects {
-            raid_rounds: 0,
-            raid_reads: 0,
-            raid_writes: 0,
-            ..fx
-        });
+        let ssd_fx =
+            kdd_cache::effects::Effects { raid_rounds: 0, raid_reads: 0, raid_writes: 0, ..fx };
+        let ssd_cpu = model.response_time(&ssd_fx);
         let done = if fx.raid_rounds > 0 {
             raid.serve_rounds(now, model.hdd_op, fx.raid_rounds) + ssd_cpu
         } else {
@@ -100,7 +97,16 @@ pub fn run_closed_loop_observed(
         stats.record(resp.as_nanos() as f64);
         hist.record(resp.as_nanos());
         if recorder.is_enabled() {
-            let c = outcome.to_obs(op == Op::Read, lba, resp);
+            let is_read = op == Op::Read;
+            let mut c = outcome.to_obs(is_read, lba, resp);
+            // Same attribution rule as the open-loop driver: charged
+            // SSD/CPU terms plus held member-disk service; queueing
+            // delay stays unattributed (conservation).
+            c.stages = model.stage_times(is_read, &ssd_fx);
+            if fx.raid_rounds > 0 {
+                let raid_stage = if is_read { Stage::RaidRead } else { Stage::RaidWrite };
+                c.stages.add(raid_stage, model.hdd_op * u64::from(fx.raid_rounds));
+            }
             if recorder.record_at(c, now, done) {
                 recorder.push_sample(policy_sample(policy, recorder.now()));
             }

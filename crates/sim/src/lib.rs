@@ -34,8 +34,8 @@ pub use closedloop::{
 pub use des::{replay_des, DesReport};
 pub use factory::{build_policy, PolicyKind};
 pub use openloop::{
-    replay_open_loop, replay_open_loop_engine, replay_open_loop_observed, EngineReplayReport,
-    OpenLoopReport,
+    obs_snapshot_policy, replay_open_loop, replay_open_loop_engine, replay_open_loop_observed,
+    EngineReplayReport, OpenLoopReport,
 };
 pub use queue::MultiServer;
 pub use service::ServiceModel;

@@ -15,7 +15,7 @@ use crate::service::ServiceModel;
 use kdd_cache::policies::CachePolicy;
 use kdd_core::engine::{EngineError, KddEngine, WriteRequest};
 use kdd_delta::content::PageMutator;
-use kdd_obs::{Recorder, Sample};
+use kdd_obs::{Recorder, Sample, Stage};
 use kdd_trace::record::{Op, Trace};
 use kdd_util::stats::{Histogram, StreamingStats};
 use kdd_util::units::SimTime;
@@ -27,6 +27,14 @@ use std::collections::BTreeMap;
 /// only the cache-counter half of the sample is populated.
 pub(crate) fn policy_sample(policy: &dyn CachePolicy, at: SimTime) -> Sample {
     Sample { at, cache: policy.stats().counters(), ..Sample::default() }
+}
+
+/// Export the recorder's snapshot after a policy-level (counting) run:
+/// the closing sample is drawn from the policy's cumulative counters
+/// and the wear histogram is empty — the counting models have no flash
+/// to sample. Returns `None` for a disabled recorder.
+pub fn obs_snapshot_policy(policy: &dyn CachePolicy, recorder: &Recorder) -> Option<kdd_obs::Json> {
+    recorder.export(&policy_sample(policy, recorder.now()), &kdd_obs::Log2Hist::new())
 }
 
 /// Latency results of one replay.
@@ -96,12 +104,9 @@ pub fn replay_open_loop_observed(
             // Disk rounds queue on the shared array; SSD/CPU time is added
             // on top (the SSD is never the bottleneck here).
             let disk_rounds = fx.raid_rounds;
-            let ssd_cpu = model.response_time(&kdd_cache::effects::Effects {
-                raid_rounds: 0,
-                raid_reads: 0,
-                raid_writes: 0,
-                ..fx
-            });
+            let ssd_fx =
+                kdd_cache::effects::Effects { raid_rounds: 0, raid_reads: 0, raid_writes: 0, ..fx };
+            let ssd_cpu = model.response_time(&ssd_fx);
             let done = if disk_rounds > 0 {
                 raid.serve_rounds(arrival, model.hdd_op, disk_rounds) + ssd_cpu
             } else {
@@ -111,7 +116,16 @@ pub fn replay_open_loop_observed(
             stats.record(resp.as_nanos() as f64);
             hist.record(resp.as_nanos());
             if recorder.is_enabled() {
-                let c = outcome.to_obs(r.op == Op::Read, lba, resp);
+                let is_read = r.op == Op::Read;
+                let mut c = outcome.to_obs(is_read, lba, resp);
+                // Attribute exactly what this driver charged: the SSD/CPU
+                // terms plus the member-disk service held on the queue;
+                // the queueing delay stays unattributed (conservation).
+                c.stages = model.stage_times(is_read, &ssd_fx);
+                if disk_rounds > 0 {
+                    let raid_stage = if is_read { Stage::RaidRead } else { Stage::RaidWrite };
+                    c.stages.add(raid_stage, model.hdd_op * u64::from(disk_rounds));
+                }
                 if recorder.record_at(c, arrival, done) {
                     recorder.push_sample(policy_sample(policy, recorder.now()));
                 }
@@ -356,6 +370,54 @@ mod tests {
             kdd.mean_response,
             wt.mean_response
         );
+    }
+
+    #[test]
+    fn observed_replay_conserves_stage_time() {
+        use kdd_obs::{Json, RecorderConfig};
+
+        let trace = PaperTrace::Fin1.generate_scaled(800, 11);
+        let g = CacheGeometry { total_pages: 256, ways: 16, page_size: 4096 };
+        let raid = RaidModel::paper_default(trace.address_space_pages().max(1024));
+        let mut p = build_policy(PolicyKind::Kdd(0.25), g, raid, 11);
+        let model = ServiceModel::paper_default();
+        let rec = Recorder::new(RecorderConfig {
+            sample_interval: SimTime::from_secs(1),
+            ring_capacity: 256,
+        });
+        replay_open_loop_observed(p.as_mut(), &trace, &model, 5, 1, &rec);
+        let doc = obs_snapshot_policy(p.as_ref(), &rec).expect("recorder enabled");
+
+        let events = doc
+            .get("spans")
+            .and_then(|s| s.get("events"))
+            .and_then(Json::as_arr)
+            .expect("spans.events");
+        assert!(!events.is_empty(), "observed replay recorded no spans");
+        let mut attributed = 0u64;
+        for e in events {
+            let ns = |key: &str| {
+                #[allow(clippy::cast_sign_loss)]
+                let v = e.get(key).and_then(Json::as_f64).expect(key).max(0.0) as u64;
+                v
+            };
+            let dur = ns("exit_ns").saturating_sub(ns("enter_ns"));
+            let sum: u64 = e.get("stages").map_or(0, |stages| {
+                Stage::ALL
+                    .iter()
+                    .filter_map(|s| stages.get(s.as_str()))
+                    .filter_map(Json::as_f64)
+                    .map(|v| {
+                        #[allow(clippy::cast_sign_loss)]
+                        let v = v.max(0.0) as u64;
+                        v
+                    })
+                    .sum()
+            });
+            assert!(sum <= dur, "span attributes {sum} ns but served in {dur} ns");
+            attributed += sum;
+        }
+        assert!(attributed > 0, "counting-model attribution is inert");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use kdd_blockdev::flash::FlashTimings;
 use kdd_blockdev::hdd::HddModel;
 use kdd_cache::effects::Effects;
+use kdd_obs::{Stage, StageTimes};
 use kdd_util::units::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,28 @@ impl ServiceModel {
     /// queueing simulators): one slot per RAID round.
     pub fn raid_rounds(&self, fx: &Effects) -> u32 {
         fx.raid_rounds
+    }
+
+    /// Stage attribution of [`Self::response_time`]: the same cost
+    /// terms, charged to the `kdd-obs/v2` stage taxonomy, so the
+    /// counting-model simulators emit the same span breakdowns the
+    /// engine does. The returned breakdown sums to *exactly*
+    /// `response_time(fx)` — the queueing delay a driver adds on top is
+    /// the only unattributed remainder, which is what keeps the
+    /// conservation invariant (stage sum ≤ span duration) intact.
+    pub fn stage_times(&self, is_read: bool, fx: &Effects) -> StageTimes {
+        let mut st = StageTimes::new();
+        st.add(Stage::DeltaEncode, self.compress * u64::from(fx.compressions));
+        st.add(Stage::DeltaDecode, self.decompress * u64::from(fx.decompressions));
+        st.add(Stage::SsdRead, self.ssd_read * u64::from(fx.ssd_read_rounds));
+        if fx.raid_rounds > 0 {
+            // SSD programs overlap the (much slower) disk access.
+            let raid = if is_read { Stage::RaidRead } else { Stage::RaidWrite };
+            st.add(raid, self.hdd_op * u64::from(fx.raid_rounds));
+        } else {
+            st.add(Stage::SsdWrite, self.ssd_write * u64::from(fx.ssd_writes()));
+        }
+        st
     }
 }
 

@@ -26,7 +26,7 @@
 //! 4. **Rules** — line rules run over the rendered code/comment views;
 //!    symbol rules (`KDD002` indirect, `KDD009`) run over the graph;
 //!    `KDD011` cross-checks the token stream against the committed
-//!    `kdd-obs/v1` snapshot.
+//!    `kdd-obs/v2` snapshot.
 //!
 //! ## Rules
 //!
@@ -1250,6 +1250,9 @@ pub struct ObsNames {
     pub hists: Vec<RegisteredName>,
     /// Span classes declared by `as_str` in `crates/obs`.
     pub span_classes: Vec<String>,
+    /// Stage names declared by `Stage::as_str` (the `kdd-obs/v2` latency
+    /// attribution taxonomy).
+    pub stages: Vec<String>,
 }
 
 impl ObsNames {
@@ -1289,22 +1292,28 @@ fn collect_obs_names(fa: &FileAnalysis, af: &AnalyzedFile, names: &mut ObsNames)
         }
     }
     // Span classes: string literals inside `fn as_str` bodies in crates/obs.
+    // `Stage::as_str` additionally feeds the stage taxonomy, cross-checked
+    // against the v2 snapshot's `stages` table.
     if fa.rel.contains("crates/obs/") {
         for f in &af.items.fns {
             if f.name != "as_str" {
                 continue;
             }
+            let is_stage = f.owner.as_deref() == Some("Stage");
             let (start, end) = f.body;
             for t in toks.get(start..end.min(toks.len())).unwrap_or(&[]) {
                 if t.kind == TokKind::Str && !t.text.is_empty() {
                     names.span_classes.push(t.text.clone());
+                    if is_stage {
+                        names.stages.push(t.text.clone());
+                    }
                 }
             }
         }
     }
 }
 
-/// Cross-check registered names against the committed `kdd-obs/v1`
+/// Cross-check registered names against the committed `kdd-obs`
 /// snapshot document (`OBS_engine.json`). Exposed for fixture tests.
 pub fn check_obs_schema(names: &ObsNames, doc: &Json, doc_path: &str) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -1313,8 +1322,26 @@ pub fn check_obs_schema(names: &ObsNames, doc: &Json, doc_path: &str) -> Vec<Vio
             rule: Rule::ObsSchema,
             file: doc_path.to_string(),
             line: 1,
-            message: format!("committed snapshot fails kdd-obs/v1 validation: {problem}"),
+            message: format!("committed snapshot fails kdd-obs validation: {problem}"),
         });
+    }
+    // The committed baseline must carry the schema the workspace exports:
+    // a stale v1 baseline would silently skip every v2-only cross-check.
+    let doc_schema = doc.get("schema").and_then(Json::as_str);
+    let is_current = doc_schema == Some(kdd_obs::SCHEMA);
+    if let Some(s) = doc_schema {
+        if !is_current {
+            out.push(Violation {
+                rule: Rule::ObsSchema,
+                file: doc_path.to_string(),
+                line: 1,
+                message: format!(
+                    "committed snapshot is `{s}` but the workspace exports `{}`: \
+                     regenerate {doc_path} (`perfbench`)",
+                    kdd_obs::SCHEMA
+                ),
+            });
+        }
     }
     for table in ["counters", "gauges", "hists"] {
         let doc_keys: BTreeSet<&str> = doc
@@ -1352,6 +1379,48 @@ pub fn check_obs_schema(names: &ObsNames, doc: &Json, doc_path: &str) -> Vec<Vio
                         "metric `{key}` appears in {doc_path} totals.{table} but no \
                          non-test code registers it: stale export — regenerate the \
                          snapshot or restore the metric"
+                    ),
+                });
+            }
+        }
+    }
+    // v2: the snapshot's `stages` table and the Stage taxonomy must match
+    // in BOTH directions — the table always exports every stage, so a
+    // missing key means a renamed/removed stage with a stale baseline,
+    // and an extra key means a stale export of a dropped stage.
+    if is_current && !names.stages.is_empty() {
+        let declared: BTreeSet<&str> = names.stages.iter().map(String::as_str).collect();
+        let doc_stages: BTreeSet<&str> = doc
+            .get("stages")
+            .and_then(|j| match j {
+                Json::Obj(m) => Some(m.keys().map(String::as_str).collect()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        for s in &declared {
+            if !doc_stages.contains(s) {
+                out.push(Violation {
+                    rule: Rule::ObsSchema,
+                    file: doc_path.to_string(),
+                    line: 1,
+                    message: format!(
+                        "stage `{s}` is declared by Stage::as_str but missing from \
+                         {doc_path} stages: regenerate the committed snapshot \
+                         (`perfbench`) or remove the stage"
+                    ),
+                });
+            }
+        }
+        for s in doc_stages {
+            if !declared.contains(s) {
+                out.push(Violation {
+                    rule: Rule::ObsSchema,
+                    file: doc_path.to_string(),
+                    line: 1,
+                    message: format!(
+                        "stage `{s}` appears in {doc_path} stages but is not declared \
+                         by Stage::as_str: stale export — regenerate the snapshot or \
+                         restore the stage"
                     ),
                 });
             }

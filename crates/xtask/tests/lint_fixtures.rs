@@ -410,12 +410,15 @@ fn layering_indirect_good_engine_chain_is_clean() {
 fn obs_schema_drift_is_flagged_both_directions() {
     use xtask::{check_obs_schema, ObsNames, RegisteredName};
     let doc_text = r#"{
-        "schema": "kdd-obs/v1",
+        "schema": "kdd-obs/v2",
         "totals": {
             "counters": {"cache.read_hits": 1},
             "gauges": {},
             "hists": {},
             "derived": {}
+        },
+        "stages": {
+            "delta_encode": {"count": 1, "sum": 30000, "max": 30000, "buckets": [[16384, 1]]}
         },
         "timeseries": [{"t": 0}],
         "wear": {},
@@ -427,13 +430,19 @@ fn obs_schema_drift_is_flagged_both_directions() {
         file: "crates/obs/src/recorder.rs".to_string(),
         line,
     };
+    let base_names = || {
+        let mut names = ObsNames::default();
+        names.counters.push(reg("cache.read_hits", 80));
+        names.span_classes.push("hit_clean".to_string());
+        names.span_classes.push("delta_encode".to_string());
+        names.stages.push("delta_encode".to_string());
+        names
+    };
 
     // Case 1: registered in code but absent from the committed snapshot —
     // pinned to the registration's file:line.
-    let mut names = ObsNames::default();
-    names.counters.push(reg("cache.read_hits", 80));
+    let mut names = base_names();
     names.counters.push(reg("cache.phantom_hits", 81));
-    names.span_classes.push("hit_clean".to_string());
     let found = check_obs_schema(&names, &doc, "OBS_engine.json");
     assert_eq!(found.len(), 1, "exactly the drifted metric: {found:?}");
     assert_eq!(found[0].rule.code(), "KDD011");
@@ -443,8 +452,8 @@ fn obs_schema_drift_is_flagged_both_directions() {
     assert!(found[0].message.contains("cache.phantom_hits"));
 
     // Case 2: exported in the snapshot but no longer registered anywhere.
-    let mut names = ObsNames::default();
-    names.span_classes.push("hit_clean".to_string());
+    let mut names = base_names();
+    names.counters.clear();
     let found = check_obs_schema(&names, &doc, "OBS_engine.json");
     assert_eq!(found.len(), 1, "stale export flagged: {found:?}");
     assert_eq!(found[0].rule, Rule::ObsSchema);
@@ -452,18 +461,31 @@ fn obs_schema_drift_is_flagged_both_directions() {
     assert!(found[0].message.contains("cache.read_hits"));
 
     // Case 3: an exported span class no `as_str` declares.
-    let mut names = ObsNames::default();
-    names.counters.push(reg("cache.read_hits", 80));
-    names.span_classes.push("hit_dirty".to_string());
+    let mut names = base_names();
+    names.span_classes.retain(|c| c != "hit_clean");
     let found = check_obs_schema(&names, &doc, "OBS_engine.json");
     assert_eq!(found.len(), 1, "undeclared span class flagged: {found:?}");
     assert!(found[0].message.contains("hit_clean"));
 
+    // Case 4: stage taxonomy drift, both directions at once — a declared
+    // stage missing from the table AND a table key no Stage declares.
+    let mut names = base_names();
+    names.stages = vec!["parity_rmw".to_string()];
+    names.span_classes.push("parity_rmw".to_string());
+    let found = check_obs_schema(&names, &doc, "OBS_engine.json");
+    assert_eq!(found.len(), 2, "both stage directions flagged: {found:?}");
+    assert!(found.iter().any(|v| v.message.contains("`parity_rmw` is declared")));
+    assert!(found.iter().any(|v| v.message.contains("`delta_encode` appears")));
+
+    // Case 5: a committed baseline still on the previous schema version
+    // must be called out (and the v2-only checks are skipped, not failed).
+    let v1 = kdd_obs::json::parse(&doc_text.replace("kdd-obs/v2", "kdd-obs/v1")).expect("v1 doc");
+    let found = check_obs_schema(&base_names(), &v1, "OBS_engine.json");
+    assert_eq!(found.len(), 1, "stale schema flagged once: {found:?}");
+    assert!(found[0].message.contains("regenerate"), "{}", found[0].message);
+
     // Agreement in both directions is clean.
-    let mut names = ObsNames::default();
-    names.counters.push(reg("cache.read_hits", 80));
-    names.span_classes.push("hit_clean".to_string());
-    assert_eq!(check_obs_schema(&names, &doc, "OBS_engine.json"), vec![]);
+    assert_eq!(check_obs_schema(&base_names(), &doc, "OBS_engine.json"), vec![]);
 }
 
 #[test]

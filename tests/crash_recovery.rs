@@ -403,7 +403,8 @@ fn seeded_fault_plan_replays_identically() {
 /// Run the seeded fault workload to completion and fold every observable
 /// piece of engine state into one FNV-1a digest: workload outcome, stats,
 /// staging counters, page contents, the injected-fault history, and the
-/// rendered `kdd-obs/v1` snapshot (spans, timeseries, and wear included).
+/// rendered `kdd-obs/v2` snapshot (spans, stage breakdowns, timeseries,
+/// and wear included).
 /// All iteration here is over `BTreeMap`s and `Vec`s, so a digest
 /// difference is a real divergence, not map-order noise.
 fn replay_digest(seed: u64) -> u64 {
